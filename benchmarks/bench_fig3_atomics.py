@@ -1,0 +1,62 @@
+"""Figure 3 benchmarks: AtomicObject vs atomic int (both panels).
+
+Paper series and the shape expectations we assert alongside timing:
+
+* shared memory: strong scaling — time decreases with task count; the
+  non-ABA ``AtomicObject`` tracks ``atomic int``; the ABA variant pays a
+  constant factor (DCAS).
+* distributed: ``ugni`` beats ``none`` once operations are mostly remote;
+  ``AtomicObject`` ~= ``atomic int`` within a network mode;
+  ``AtomicObject (ABA)`` tracks the active-message (none) curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure3_distributed, figure3_shared
+
+from conftest import record_panels
+
+
+def test_fig3_shared_memory(benchmark):
+    """Figure 3 (left): 1..8 tasks, fixed total ops, one locale."""
+
+    def run():
+        return figure3_shared(tasks=(1, 2, 4, 8), total_ops=1 << 12)
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panel)
+    series = {s.name: s.values for s in panel.series}
+    # Strong scaling: every series must get faster with more tasks.
+    for name, vals in series.items():
+        assert vals[-1] < vals[0], f"{name} did not scale down with tasks"
+    # AtomicObject (no ABA) within 1.5x of atomic int at every point.
+    for a, b in zip(series["AtomicObject"], series["atomic int"]):
+        assert a < 1.5 * b
+    # ABA strictly slower than non-ABA (the DCAS constant).
+    for a, b in zip(series["AtomicObject (ABA)"], series["AtomicObject"]):
+        assert a > b
+
+
+def test_fig3_distributed(benchmark, small_locales):
+    """Figure 3 (right): 2..8 locales, cyclic cells, all five series."""
+
+    def run():
+        return figure3_distributed(locales=small_locales, ops_per_task=1 << 8)
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panel)
+    series = {s.name: s.values for s in panel.series}
+    # ugni beats none for remote-dominated traffic at every locale count.
+    for u, n in zip(series["atomic int (ugni)"], series["atomic int (none)"]):
+        assert u < n
+    # AtomicObject ~= atomic int within each network mode (<= 1.6x).
+    for mode in ("none", "ugni"):
+        for a, b in zip(
+            series[f"AtomicObject ({mode})"], series[f"atomic int ({mode})"]
+        ):
+            assert a < 1.6 * b
+    # ABA rides the active-message path: within 2x of the none curve.
+    for a, n in zip(series["AtomicObject (ABA)"], series["AtomicObject (none)"]):
+        assert a < 2.0 * n

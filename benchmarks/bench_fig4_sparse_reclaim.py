@@ -1,0 +1,38 @@
+"""Figure 4 benchmark: deletion with ``tryReclaim`` once per 1024 iterations.
+
+Three panels (0/50/100% remote objects), two series each (none/ugni).
+Shape assertions: curves stay bounded (scalable) as locales grow, and more
+remote objects never make reclamation cheaper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure4
+
+from conftest import record_panels
+
+
+def test_fig4_sparse_tryreclaim(benchmark, small_locales):
+    """Sparse-reclaim sweep over {0,50,100}% remote x {none,ugni}."""
+
+    def run():
+        return figure4(locales=small_locales, ops_per_task=1 << 9)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panels)
+    assert len(panels) == 3  # one per remote percentage
+    by_remote = {p.title.split("—")[1].strip(): p for p in panels}
+
+    for panel in panels:
+        series = {s.name: s.values for s in panel.series}
+        for name, vals in series.items():
+            # Scalability: quadrupling locales must not blow time up by
+            # more than ~8x (the paper's curves grow gently on log axes).
+            assert vals[-1] < 8.0 * vals[0], f"{panel.title}/{name} exploded"
+
+    # More remote objects cost at least as much as fewer, per network.
+    p0 = {s.name: s.values for s in by_remote["0% remote objects"].series}
+    p100 = {s.name: s.values for s in by_remote["100% remote objects"].series}
+    for net in ("none", "ugni"):
+        for hi, lo in zip(p100[net], p0[net]):
+            assert hi >= 0.9 * lo  # allow noise, forbid inversions

@@ -1,0 +1,37 @@
+"""Figure 5 benchmark: deletion with ``tryReclaim`` called every iteration.
+
+The stress case for the election protocol: every single operation attempts
+a reclaim.  Shape assertions: still bounded growth (the FCFS election
+keeps the global-epoch locale usable), and dense reclamation costs more
+than sparse (cross-checked against Figure 4 data at one point).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure4, figure5
+
+from conftest import record_panels
+
+
+def test_fig5_dense_tryreclaim(benchmark, small_locales):
+    """Dense-reclaim sweep over {0,50,100}% remote x {none,ugni}."""
+
+    def run():
+        return figure5(locales=small_locales, ops_per_task=1 << 8)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panels)
+    assert len(panels) == 3
+    for panel in panels:
+        for s in panel.series:
+            assert s.values[-1] < 16.0 * s.values[0], f"{panel.title}/{s.name} exploded"
+
+
+def test_fig5_costs_more_than_fig4():
+    """Dense tryReclaim is strictly slower than sparse at equal size."""
+    sparse = figure4(locales=[4], ops_per_task=1 << 9, remote_percents=(0,))[0]
+    dense = figure5(locales=[4], ops_per_task=1 << 9, remote_percents=(0,))[0]
+    s = {x.name: x.values for x in sparse.series}
+    d = {x.name: x.values for x in dense.series}
+    for net in ("none", "ugni"):
+        assert d[net][0] > s[net][0]

@@ -1,0 +1,35 @@
+"""Figure 6 benchmark: deletion with reclamation only performed at the end.
+
+The bounded-memory pattern: defer everything, one ``clear()`` afterwards.
+Shape assertions: bounded growth across locales and a visible (but not
+catastrophic) premium for remote objects — the scatter list keeps the
+remote premium to bulk-transfer prices.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure6
+
+from conftest import record_panels
+
+
+def test_fig6_cleanup_at_end(benchmark, small_locales):
+    """End-only-cleanup sweep over {0,50,100}% remote x {none,ugni}."""
+
+    def run():
+        return figure6(locales=small_locales, ops_per_task=1 << 9)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panels)
+    assert len(panels) == 3
+    for panel in panels:
+        series = {s.name: s.values for s in panel.series}
+        for name, vals in series.items():
+            assert vals[-1] < 8.0 * vals[0], f"{panel.title}/{name} exploded"
+
+    # The remote premium exists but is amortized: 100% remote costs less
+    # than 5x the 0% remote run at the largest tested locale count.
+    p0 = {s.name: s.values for s in panels[0].series}
+    p100 = {s.name: s.values for s in panels[2].series}
+    for net in ("none", "ugni"):
+        assert p100[net][-1] < 5.0 * p0[net][-1]

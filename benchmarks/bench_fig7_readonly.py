@@ -1,0 +1,31 @@
+"""Figure 7 benchmark: read-only pin/unpin workload (no deletion).
+
+The paper's privatization headline: performance is "essentially stable
+across multiple locales" because pin/unpin never leaves the locale.  We
+assert flatness quantitatively: the slowest point on the curve is within a
+small factor of the fastest, and the two network modes coincide (no
+network atomics are involved at all).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure7
+
+from conftest import record_panels
+
+
+def test_fig7_readonly_pin_unpin(benchmark, small_locales):
+    """Read-only sweep over locales x {none,ugni}."""
+
+    def run():
+        return figure7(locales=small_locales, ops_per_task=1 << 10)
+
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_panels(benchmark, panel)
+    series = {s.name: s.values for s in panel.series}
+    for net, vals in series.items():
+        # Flatness: max/min within 2x across the whole locale axis.
+        assert max(vals) < 2.0 * min(vals), f"{net} curve is not flat: {vals}"
+    # Pin/unpin uses no network atomics, so the modes must coincide.
+    for u, n in zip(series["ugni"], series["none"]):
+        assert abs(u - n) < 0.25 * max(u, n) + 1e-12

@@ -1,0 +1,30 @@
+"""Shared fixtures/helpers for the pytest-benchmark suite.
+
+Every benchmark here drives the same figure code as
+``python -m repro.bench`` but at reduced scale (small locale axis, fewer
+ops) so the whole suite completes in a couple of minutes.  The *virtual*
+elapsed seconds — the quantity the paper plots — are attached to each
+benchmark's ``extra_info`` so ``--benchmark-json`` output carries the
+reproduction data alongside the harness wall times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.bench.report import Panel
+
+
+def record_panels(benchmark, panels: "Sequence[Panel] | Panel") -> None:
+    """Attach a figure's series to pytest-benchmark's extra_info."""
+    if isinstance(panels, Panel):
+        panels = [panels]
+    benchmark.extra_info["panels"] = [p.as_dict() for p in panels]
+
+
+@pytest.fixture
+def small_locales() -> List[int]:
+    """The reduced locale axis used across the benchmark suite."""
+    return [2, 4, 8]

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The ABA problem, made visible — and both of the paper's fixes.
+
+The scenario from Section II-A, scripted deterministically:
+
+* τ1 reads the stack head and sees node at address α;
+* τ2 pops that node AND the one under it, frees both; the allocator (LIFO
+  free list) hands address α right back for τ3's fresh node;
+* τ1's plain compare-and-swap now *succeeds against the wrong node*,
+  installing a dangling next pointer.
+
+Fix #1: the ``ABA`` wrapper — a DCAS over (pointer, counter) makes τ1's
+stale snapshot fail.  Fix #2: epoch-based reclamation — the freed address
+is never recycled while τ1 could still hold it, so the hazard cannot form.
+
+Run:  python examples/aba_demonstration.py
+"""
+
+from repro import EpochManager, Runtime
+from repro.structures import LockFreeStack
+
+rt = Runtime(num_locales=1, network="none")
+
+
+def provoke_plain_cas() -> None:
+    """Drive the classic interleaving against a plain-CAS stack."""
+    stack = LockFreeStack(rt, aba_protection=False, unsafe_free=True)
+    a = stack.push("A")
+    stack.push("B")  # head -> B -> A
+
+    # τ1 reads the head (address of B) and stalls before its CAS.
+    tau1_head = stack.head.read()
+    tau1_next = rt.deref(tau1_head).next  # τ1 plans: head := A
+
+    # τ2 runs ahead: pops B, whose address goes straight to the free list.
+    assert stack.pop() == "B"
+
+    # τ3 pushes a new node C — the LIFO allocator recycles B's address.
+    reused = stack.push("C")
+    print(f"  address recycled: τ1 saw {tau1_head}, τ3's node C is at {reused}")
+    assert reused == tau1_head, "LIFO free list must recycle the address"
+    # The stack is now head -> C -> A.
+
+    # τ1 wakes up. Its CAS compares ONLY the pointer bits... and succeeds,
+    # silently discarding C by installing τ1's stale 'next' (A).
+    assert stack.head.compare_and_swap(tau1_head, tau1_next)
+    print("  plain CAS succeeded against the wrong node (ABA!)")
+    top = stack.pop()
+    print(f"  pop returned {top!r} — node C vanished (lost-update corruption)")
+    assert top == "A"
+
+
+def fixed_by_dcas() -> None:
+    """Same interleaving against the ABA-protected stack: CAS fails."""
+    stack = LockFreeStack(rt, aba_protection=True, unsafe_free=True)
+    stack.push("A")
+    stack.push("B")
+
+    tau1_snap = stack.head.read_aba()  # pointer AND counter
+    tau1_next = rt.deref(tau1_snap.get_object()).next
+
+    assert stack.pop() == "B"
+    reused = stack.push("C")
+    assert reused == tau1_snap.get_object()  # same address again...
+
+    ok = stack.head.compare_and_swap_aba(tau1_snap, tau1_next)
+    print(f"  DCAS against stale (pointer, counter) snapshot: success={ok}")
+    assert not ok, "the counter must have advanced"
+    assert stack.pop() == "C"
+    assert stack.pop() == "A"
+    print("  stack intact: ABA defeated by the 64-bit adjacent counter")
+
+
+def fixed_by_ebr() -> None:
+    """With EBR, the address is never recycled while τ1 might hold it."""
+    em = EpochManager(rt)
+    stack = LockFreeStack(rt, aba_protection=False)  # plain CAS again!
+    tok = em.register()
+
+    stack.push("A")
+    stack.push("B")
+
+    tok.pin()  # τ1 is in the epoch while it holds the snapshot
+    tau1_head = stack.head.read()
+
+    # τ2 pops both nodes but defers the frees through its own token.
+    tok2 = em.register()
+    tok2.pin()
+    assert stack.pop(tok2) == "B"
+    assert stack.pop(tok2) == "A"
+    tok2.unpin()
+    tok2.try_reclaim()  # cannot free yet: τ1 is still pinned in the epoch
+
+    fresh = stack.push("C")
+    print(f"  τ1 saw {tau1_head}; τ3's node went to {fresh} (no reuse while pinned)")
+    assert fresh != tau1_head, "EBR must prevent recycling under a pin"
+    tok.unpin()
+    tok.unregister()
+    tok2.unregister()
+    em.clear()
+    print("  stack intact: ABA prevented by deferring the reclamation")
+
+
+if __name__ == "__main__":
+    print("1) plain CAS + immediate free + LIFO allocator:")
+    rt.run(provoke_plain_cas)
+    print("2) the ABA wrapper (DCAS on pointer+counter):")
+    rt.run(fixed_by_dcas)
+    print("3) epoch-based reclamation (defer the free):")
+    rt.run(fixed_by_ebr)

@@ -1,0 +1,24 @@
+"""Atomic primitives routed through the simulated interconnect.
+
+* :class:`~repro.atomics.integer.AtomicInt64` /
+  :class:`~repro.atomics.integer.AtomicUInt64` — 64-bit atomics (the RDMA
+  fast path under ``ugni``; Chapel's ``atomic int`` baseline).
+* :class:`~repro.atomics.integer.AtomicBool` — flags with
+  ``test_and_set`` / ``clear`` (the election protocol's building block).
+* :class:`~repro.atomics.wide.AtomicWide128` — 128-bit DCAS
+  (``CMPXCHG16B``); never RDMA, remote = active message.
+"""
+
+from .cell import AtomicCell
+from .integer import AtomicBool, AtomicInt64, AtomicUInt64
+from .ref import AtomicRef
+from .wide import AtomicWide128
+
+__all__ = [
+    "AtomicCell",
+    "AtomicInt64",
+    "AtomicUInt64",
+    "AtomicBool",
+    "AtomicWide128",
+    "AtomicRef",
+]

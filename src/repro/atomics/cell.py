@@ -1,0 +1,75 @@
+"""Base machinery shared by all simulated atomic variables.
+
+An atomic cell lives on a *home locale* and owns a per-cell
+:class:`~repro.runtime.clock.ServicePoint` modelling its cache line / NIC
+address pipeline — the resource that serializes concurrent operations on a
+*hot* atomic even when the rest of the machine is idle.
+
+Real-thread atomicity is provided by a per-cell ``threading.Lock``; virtual
+time and communication counters are charged through the runtime's
+:class:`~repro.comm.network.NetworkModel`, which applies the paper's routing
+rules (CPU vs NIC vs active message) based on where the calling task is and
+whether the runtime has network atomics.
+
+Operations charge costs only when a task context is installed; this lets
+unit tests exercise pure semantics without standing up a runtime task.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from ..runtime.clock import ServicePoint
+from ..runtime.context import maybe_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+
+__all__ = ["AtomicCell"]
+
+
+class AtomicCell:
+    """Common state & charging logic for one atomic memory location."""
+
+    __slots__ = ("_rt", "home", "_lock", "line", "name", "opt_out")
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        home: int,
+        name: str = "",
+        *,
+        opt_out: bool = False,
+    ) -> None:
+        #: Owning runtime (supplies the network model).
+        self._rt = runtime
+        #: Locale the cell's memory lives on.
+        self.home = home
+        self._lock = threading.Lock()
+        #: Per-cell serial resource (hot-line contention).
+        self.line = ServicePoint(name or f"line@{home}")
+        self.name = name
+        #: When True, the cell "opts out" of network atomics (priced as a
+        #: CPU atomic even under `ugni`) — the paper's optimization for
+        #: variables only ever touched by tasks on their home locale.
+        self.opt_out = opt_out
+
+    # ------------------------------------------------------------------
+    def _charge(self, *, wide: bool = False) -> None:
+        """Charge one atomic op according to caller locality & network mode.
+
+        No-op outside a task context (pure-semantics unit tests).
+        """
+        ctx = maybe_context()
+        if ctx is not None and ctx.runtime is self._rt:
+            self._rt.network.atomic_op(
+                ctx, self.home, self.line, wide=wide, opt_out=self.opt_out
+            )
+
+    def reset_measurements(self) -> None:
+        """Zero the cell's contention bookkeeping (between bench trials)."""
+        self.line.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(home={self.home}, name={self.name!r})"

@@ -1,0 +1,25 @@
+"""Blocking baselines: the synchronized counterparts for every comparison.
+
+* :class:`~repro.baselines.spinlock.SpinLock` — cost-modelled test-and-set
+  lock.
+* :class:`~repro.baselines.locked_structures.LockedStack` /
+  :class:`~repro.baselines.locked_structures.LockedQueue` /
+  :class:`~repro.baselines.locked_structures.LockedMap` — single-lock
+  structures; also the sequential oracles in differential tests.
+* :class:`~repro.baselines.global_lock_reclaimer.GlobalLockReclaimer` —
+  a blocking, hot-counter reclamation scheme the EpochManager is ablated
+  against.
+"""
+
+from .global_lock_reclaimer import GlobalLockReclaimer, ReclaimerGuard
+from .locked_structures import LockedMap, LockedQueue, LockedStack
+from .spinlock import SpinLock
+
+__all__ = [
+    "SpinLock",
+    "LockedStack",
+    "LockedQueue",
+    "LockedMap",
+    "GlobalLockReclaimer",
+    "ReclaimerGuard",
+]

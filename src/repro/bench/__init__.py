@@ -1,0 +1,55 @@
+"""Benchmark harness: regenerate every figure in the paper's evaluation.
+
+Entry points:
+
+* ``python -m repro.bench --figure all`` — print every figure's series.
+* :mod:`repro.bench.figures` — programmatic drivers (used by the pytest
+  benchmarks under ``benchmarks/``).
+* :mod:`repro.bench.ablations` — the design-choice ablations from
+  DESIGN.md Section 6.
+* :mod:`repro.bench.workloads` — the underlying workload generators.
+"""
+
+from .ablations import (
+    ablation_compression,
+    ablation_epoch_cycle,
+    ablation_election,
+    ablation_privatization,
+    ablation_reclaimers,
+    ablation_scatter,
+)
+from .figures import (
+    figure3_distributed,
+    figure3_shared,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from .report import Panel, Series, render_figure, render_panel
+from .sweep import Sweep, SweepRow
+from .workloads import WorkloadResult, run_atomic_mix, run_epoch_workload
+
+__all__ = [
+    "figure3_shared",
+    "figure3_distributed",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ablation_compression",
+    "ablation_epoch_cycle",
+    "ablation_privatization",
+    "ablation_scatter",
+    "ablation_election",
+    "ablation_reclaimers",
+    "Panel",
+    "Series",
+    "render_panel",
+    "render_figure",
+    "Sweep",
+    "SweepRow",
+    "WorkloadResult",
+    "run_atomic_mix",
+    "run_epoch_workload",
+]

@@ -1,0 +1,130 @@
+"""CLI: regenerate the paper's figures (and the ablations) as text tables.
+
+Usage::
+
+    python -m repro.bench --figure 3a          # Figure 3 shared-memory panel
+    python -m repro.bench --figure 4           # Figure 4 (all three panels)
+    python -m repro.bench --figure all         # everything (minutes)
+    python -m repro.bench --figure ablations   # the design ablations
+    python -m repro.bench --figure 5 --ops 256 --max-locales 16   # quick pass
+
+``--ops`` scales per-task operation counts (virtual seconds scale linearly;
+shapes are invariant).  ``--max-locales`` truncates the locale axis for
+quick runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Sequence
+
+from . import ablations, figures
+from .report import Panel, render_figure
+
+#: Figure ids accepted by --figure.
+FIGURES = ("3a", "3b", "4", "5", "6", "7", "ablations", "all")
+
+
+def _locales(max_locales: int, base: Sequence[int]) -> List[int]:
+    return [x for x in base if x <= max_locales]
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point for ``python -m repro.bench``."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures on the simulated PGAS runtime.",
+    )
+    ap.add_argument("--figure", choices=FIGURES, default="all", help="which figure to run")
+    ap.add_argument("--ops", type=int, default=None, help="per-task operation count override")
+    ap.add_argument(
+        "--max-locales", type=int, default=64, help="truncate the locale axis (quick runs)"
+    )
+    ap.add_argument(
+        "--tasks-per-locale", type=int, default=1, help="worker tasks per locale"
+    )
+    ap.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump every panel's series to PATH as JSON",
+    )
+    args = ap.parse_args(argv)
+
+    todo = [args.figure] if args.figure != "all" else ["3a", "3b", "4", "5", "6", "7", "ablations"]
+    t0 = time.time()
+    json_doc: Dict[str, list] = {}
+
+    for fig in todo:
+        panels: List[Panel] = []
+        title = ""
+        if fig == "3a":
+            title = "Figure 3 — AtomicObject vs atomic int (shared memory)"
+            kw = {}
+            if args.ops:
+                kw["total_ops"] = args.ops * 32
+            panels = [figures.figure3_shared(**kw)]
+        elif fig == "3b":
+            title = "Figure 3 — AtomicObject vs atomic int (distributed memory)"
+            kw = dict(
+                locales=_locales(args.max_locales, figures.DEFAULT_LOCALES),
+                tasks_per_locale=args.tasks_per_locale,
+            )
+            if args.ops:
+                kw["ops_per_task"] = args.ops
+            panels = [figures.figure3_distributed(**kw)]
+        elif fig in ("4", "5", "6"):
+            titles = {
+                "4": "Figure 4 — Deletion with tryReclaim once per 1024 iterations",
+                "5": "Figure 5 — Deletion with tryReclaim every iteration",
+                "6": "Figure 6 — Deletion with reclamation only performed at end",
+            }
+            title = titles[fig]
+            fn = {"4": figures.figure4, "5": figures.figure5, "6": figures.figure6}[fig]
+            kw = dict(
+                locales=_locales(args.max_locales, figures.DEFAULT_EPOCH_LOCALES),
+                tasks_per_locale=args.tasks_per_locale,
+            )
+            if args.ops:
+                kw["ops_per_task"] = args.ops
+            panels = fn(**kw)
+        elif fig == "7":
+            title = "Figure 7 — Read-only workload without deletion"
+            kw = dict(
+                locales=_locales(args.max_locales, figures.DEFAULT_EPOCH_LOCALES),
+                tasks_per_locale=args.tasks_per_locale,
+            )
+            if args.ops:
+                kw["ops_per_task"] = args.ops
+            panels = [figures.figure7(**kw)]
+        elif fig == "ablations":
+            title = "Ablations — DESIGN.md Section 6"
+            ab_kw = {}
+            if args.ops:
+                ab_kw["ops_per_task"] = args.ops
+            panels = [
+                ablations.ablation_compression(**ab_kw),
+                ablations.ablation_privatization(**ab_kw),
+                ablations.ablation_scatter(**ab_kw),
+                ablations.ablation_election(**ab_kw),
+                ablations.ablation_reclaimers(**ab_kw),
+                ablations.ablation_epoch_cycle(**ab_kw),
+            ]
+        print(render_figure(title, panels))
+        sys.stdout.flush()
+        json_doc[fig] = [p.as_dict() for p in panels]
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(json_doc, fh, indent=2)
+        print(f"(series written to {args.json})")
+
+    print(f"(total wall time: {time.time() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

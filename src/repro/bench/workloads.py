@@ -1,0 +1,266 @@
+"""Workload generators mirroring the paper's microbenchmarks.
+
+Two families, matching Section III:
+
+* :func:`run_atomic_mix` — the Figure 3 workload: every task performs a
+  fixed number of operations against an array of atomic cells distributed
+  cyclically over locales, with the paper's mix of 25% read / 25% write /
+  25% compare-and-swap / 25% exchange.  The cell type is selectable:
+  Chapel's ``atomic int`` baseline, ``AtomicObject``, or
+  ``AtomicObject (ABA)``.
+
+* :func:`run_epoch_workload` — the Figures 4–7 workload (the paper's
+  Listing 5): pre-allocate ``num_objects`` objects with a controlled
+  fraction living on a *remote* locale relative to the task that will
+  retire them, then ``forall`` over them with a task-private token doing
+  ``pin / [deferDelete] / unpin`` and optionally calling ``tryReclaim``
+  every *k* iterations; reclamation frequency and the final cleanup are
+  knobs so one generator covers sparse (Fig 4), dense (Fig 5), end-only
+  (Fig 6) and read-only (Fig 7) variants.
+
+Both return a :class:`WorkloadResult` with the virtual elapsed seconds and
+communication/diagnostic snapshots, which the figure drivers turn into the
+paper's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..core.atomic_object import AtomicObject
+from ..core.epoch_manager import EpochManager
+from ..memory.address import NIL, GlobalAddress
+from ..runtime.runtime import Runtime
+
+__all__ = ["WorkloadResult", "run_atomic_mix", "run_epoch_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload execution on one runtime configuration."""
+
+    #: Virtual seconds for the timed region (the paper's y-axis).
+    elapsed: float
+    #: Total simulated operations issued by all tasks.
+    operations: int
+    #: Communication totals (GETs/PUTs/AMOs/AMs/forks/bulk).
+    comm: Dict[str, int] = field(default_factory=dict)
+    #: Extra per-workload diagnostics (epoch-manager stats, etc.).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ops_per_second(self) -> float:
+        """Throughput in simulated op/s."""
+        return self.operations / self.elapsed if self.elapsed > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: atomic-operation mix
+# ---------------------------------------------------------------------------
+
+
+def run_atomic_mix(
+    rt: Runtime,
+    *,
+    kind: str,
+    ops_per_task: int,
+    tasks_per_locale: int = 1,
+    num_cells: Optional[int] = None,
+) -> WorkloadResult:
+    """Run the 25/25/25/25 read/write/CAS/exchange mix of Figure 3.
+
+    ``kind`` is one of ``"atomic_int"``, ``"atomic_object"`` or
+    ``"atomic_object_aba"``.  Cells are distributed cyclically; each task
+    targets a deterministic pseudo-random cell per operation, so with more
+    locales the remote fraction rises exactly as on a real Cyclic array.
+    """
+    if kind not in ("atomic_int", "atomic_object", "atomic_object_aba"):
+        raise ValueError(f"unknown atomic-mix kind {kind!r}")
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+    ncells = num_cells if num_cells is not None else max(64, 2 * ntasks)
+
+    def main() -> WorkloadResult:
+        if kind == "atomic_int":
+            cells = [rt.atomic_int(0, locale=i % nloc) for i in range(ncells)]
+            # Two distinct operand values per cell for CAS/exchange churn.
+            operands: List[Any] = [1, 2]
+        else:
+            aba = kind == "atomic_object_aba"
+            cells = [
+                AtomicObject(rt, locale=i % nloc, aba_protection=aba)
+                for i in range(ncells)
+            ]
+            # Pre-allocate two target objects per cell's locale to swap
+            # between (the paper's workload swaps class instances).
+            operands_by_locale = [
+                [rt.new_obj(object(), locale=lid) for _ in range(2)]
+                for lid in range(nloc)
+            ]
+            operands = operands_by_locale
+
+        use_aba = kind == "atomic_object_aba"
+
+        def body(task_idx: int) -> None:
+            from ..runtime.context import current_context
+
+            ctx = current_context()
+            rng = ctx.rng
+            for op_i in range(ops_per_task):
+                cell = cells[rng.randrange(ncells)]
+                op = op_i & 3  # cycle through the 4-op mix deterministically
+                if kind == "atomic_int":
+                    if op == 0:
+                        cell.read()
+                    elif op == 1:
+                        cell.write(op_i)
+                    elif op == 2:
+                        cell.compare_and_swap(0, op_i)
+                    else:
+                        cell.exchange(op_i)
+                else:
+                    target = operands[cell.home][op_i & 1]
+                    if use_aba:
+                        if op == 0:
+                            cell.read_aba()
+                        elif op == 1:
+                            cell.write_aba(target)
+                        elif op == 2:
+                            snap = cell.read_aba()
+                            cell.compare_and_swap_aba(snap, target)
+                        else:
+                            cell.exchange_aba(target)
+                    else:
+                        if op == 0:
+                            cell.read()
+                        elif op == 1:
+                            cell.write(target)
+                        elif op == 2:
+                            expected = cell.read()
+                            cell.compare_and_swap(expected, target)
+                        else:
+                            cell.exchange(target)
+
+        rt.reset_measurements()
+        with rt.timed() as t:
+            rt.forall(
+                range(ntasks),
+                body,
+                tasks_per_locale=tasks_per_locale,
+                owner_of=lambda item, idx: idx % nloc,
+            )
+        ops = ntasks * ops_per_task
+        return WorkloadResult(
+            elapsed=t.elapsed, operations=ops, comm=rt.comm_totals()
+        )
+
+    return rt.run(main)
+
+
+# ---------------------------------------------------------------------------
+# Figures 4-7: epoch-manager workloads (paper Listing 5)
+# ---------------------------------------------------------------------------
+
+
+def run_epoch_workload(
+    rt: Runtime,
+    *,
+    ops_per_task: int,
+    tasks_per_locale: int = 1,
+    remote_percent: int = 0,
+    delete: bool = True,
+    reclaim_every: Optional[int] = None,
+    cleanup_at_end: bool = True,
+    manager_kwargs: Optional[Dict[str, Any]] = None,
+) -> WorkloadResult:
+    """Run the Listing 5 microbenchmark.
+
+    Parameters
+    ----------
+    remote_percent:
+        Percentage (0/50/100) of objects allocated on a locale *different*
+        from the task that retires them — the Figures 4–6 x-axis variant.
+    delete:
+        When False the body only pins/unpins (Figure 7's read-only
+        workload).
+    reclaim_every:
+        Call ``tok.tryReclaim()`` every this-many iterations (1024 for
+        Figure 4, 1 for Figure 5, ``None`` = never, as in Figures 6/7).
+    cleanup_at_end:
+        Include ``manager.clear()`` in the timed region (Figure 6's
+        "reclamation only performed at end" and general teardown).
+    """
+    if not (0 <= remote_percent <= 100):
+        raise ValueError("remote_percent must be within [0, 100]")
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+    num_objects = ntasks * ops_per_task
+
+    def main() -> WorkloadResult:
+        em = EpochManager(rt, **(manager_kwargs or {}))
+
+        # Pre-allocate the objects *outside* the timed region (the paper
+        # randomizes placement before the loop).  Object i is iterated by
+        # the task on locale (i % nloc); with probability remote_percent it
+        # is allocated on the next locale over instead (guaranteed remote).
+        objs: List[GlobalAddress] = []
+        if delete:
+            import random as _random
+
+            rng = _random.Random(rt.config.seed ^ 0x9E3779B9)
+            for i in range(num_objects):
+                owner = i % nloc
+                if nloc > 1 and rng.randrange(100) < remote_percent:
+                    target = (owner + 1 + rng.randrange(nloc - 1)) % nloc
+                else:
+                    target = owner
+                objs.append(rt.new_obj(object(), locale=target))
+        else:
+            objs = [NIL] * num_objects  # placeholders; body ignores them
+
+        class _TaskState:
+            """Listing 5's task intents: a token plus the `M` counter."""
+
+            __slots__ = ("tok", "m")
+
+            def __init__(self) -> None:
+                self.tok = em.register()
+                self.m = 0
+
+            def close(self) -> None:  # forall auto-cleanup hook
+                self.tok.unregister()
+
+        def body(item_idx: int, st: "_TaskState") -> None:
+            st.tok.pin()
+            if delete:
+                st.tok.defer_delete(objs[item_idx])
+            st.tok.unpin()
+            if reclaim_every is not None:
+                st.m += 1
+                if st.m % reclaim_every == 0:
+                    st.tok.try_reclaim()
+
+        rt.reset_measurements()
+        with rt.timed() as t:
+            rt.forall(
+                range(num_objects),
+                body,
+                task_init=_TaskState,
+                tasks_per_locale=tasks_per_locale,
+                owner_of=lambda item, idx: idx % nloc,
+            )
+            if cleanup_at_end:
+                em.clear()
+        stats = em.stats.as_dict()
+        leftovers = em.pending_count()
+        if not cleanup_at_end:
+            em.clear()
+        return WorkloadResult(
+            elapsed=t.elapsed,
+            operations=num_objects,
+            comm=rt.comm_totals(),
+            extra={"em": stats, "pending_after": leftovers},
+        )
+
+    return rt.run(main)

@@ -1,0 +1,21 @@
+"""Communication substrate: cost model, network routing, diagnostics.
+
+* :class:`~repro.comm.costs.CostModel` — virtual-time calibration.
+* :class:`~repro.comm.network.NetworkModel` — routes and charges every
+  PGAS operation (the single choke point between algorithms and the
+  simulated interconnect).
+* :class:`~repro.comm.counters.CommDiagnostics` — per-locale operation
+  counters (Chapel ``CommDiagnostics`` analogue).
+"""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .counters import CommDiagnostics, CommOp
+from .network import NetworkModel
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "NetworkModel",
+    "CommDiagnostics",
+    "CommOp",
+]

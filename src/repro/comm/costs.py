@@ -1,0 +1,131 @@
+"""Latency / service-time constants for the simulated interconnect.
+
+The reproduction does not try to match the absolute microsecond figures of
+the paper's Cray XC-50; it matches the *ordering and separation* between
+operation classes, which is what drives every curve in the evaluation:
+
+``cpu atomic  <<  NIC (RDMA) atomic  <<  active message``
+
+Three behaviours called out in the paper are encoded here explicitly:
+
+* Under ``ugni`` (``CHPL_NETWORK_ATOMICS``), NIC atomics are **not
+  coherent** with CPU atomics, so even locale-local atomic operations must
+  go through the NIC — the paper measures this at "as much as an order of
+  magnitude" over a CPU atomic.  Hence ``nic_atomic_local_latency`` is ~10x
+  ``cpu_atomic_latency``.
+* Without network atomics (``none``), a *remote* atomic demotes to an
+  active message handled by the target locale's progress thread: higher
+  latency and, crucially, a serial service point (see
+  :class:`~repro.runtime.clock.ServicePoint`).
+* A 128-bit DCAS is never an RDMA operation — it is either a local
+  ``CMPXCHG16B`` or remote execution — so the ABA-protected paths always
+  pay CPU/AM prices, exactly as the ``AtomicObject (ABA)`` series do in
+  Figure 3.
+
+All times are in **seconds** of virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+#: One nanosecond, for readability of the constants below.
+_NS = 1e-9
+#: One microsecond.
+_US = 1e-6
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time cost constants for every simulated operation class.
+
+    Instances are immutable; use :meth:`scaled` or :func:`dataclasses.replace`
+    to derive variants (e.g. a slower network for sensitivity studies).
+
+    Attributes are grouped as ``*_latency`` (time charged to the issuing
+    task) and ``*_service`` (time the contended resource — NIC pipeline or
+    progress thread — is occupied; this is what serializes hot spots).
+    """
+
+    # -- CPU-side atomics (coherent, cache-line granularity) ------------
+    #: Uncontended CPU atomic op (read/write/xchg/CAS on 64 bits).
+    cpu_atomic_latency: float = 30 * _NS
+    #: Exclusive cache-line occupancy per CPU atomic op.
+    cpu_atomic_service: float = 15 * _NS
+    #: CPU double-word (128-bit) CAS, e.g. CMPXCHG16B.
+    cpu_dcas_latency: float = 60 * _NS
+    #: Cache-line occupancy for a DCAS.
+    cpu_dcas_service: float = 30 * _NS
+    #: Plain (non-atomic) local load/store of a word or object field.
+    cpu_load_latency: float = 2 * _NS
+
+    # -- NIC-offloaded (RDMA) atomics: the `ugni` path -------------------
+    #: NIC atomic issued against memory on the *same* locale.  Large on
+    #: purpose: network atomics are not coherent, so local ops pay the NIC
+    #: round trip too (paper: ~an order of magnitude over a CPU atomic).
+    nic_atomic_local_latency: float = 400 * _NS
+    #: NIC atomic against a remote locale (the paper's "ballpark of mere
+    #: microseconds").
+    nic_atomic_remote_latency: float = 1.1 * _US
+    #: NIC pipeline occupancy per atomic; small because Aries pipelines
+    #: network atomics aggressively.
+    nic_atomic_service: float = 60 * _NS
+
+    # -- Active messages (remote execution; the `none` remote path) ------
+    #: One-way software latency for an active message (includes injection,
+    #: wire time, and handler dispatch at the target).
+    am_latency: float = 4.0 * _US
+    #: Progress-thread occupancy per AM at the target locale.  This is the
+    #: term that makes AM-bound locales a scaling bottleneck.
+    am_service: float = 700 * _NS
+
+    # -- One-sided data movement (GET / PUT) -----------------------------
+    #: Small-message one-sided read/write latency.
+    rdma_small_latency: float = 1.4 * _US
+    #: Per-byte cost of bulk one-sided transfers (~10 GB/s).
+    rdma_byte_cost: float = 0.1 * _NS
+    #: NIC occupancy per RDMA data operation.
+    rdma_service: float = 80 * _NS
+
+    # -- Tasking ----------------------------------------------------------
+    #: Spawning one task on the current locale.
+    task_spawn_local: float = 2.0 * _US
+    #: Spawning a task on a remote locale (an `on` statement / remote fork).
+    task_spawn_remote: float = 6.0 * _US
+    #: Joining a completed task group (charged once per construct).
+    task_join: float = 1.0 * _US
+
+    # -- Memory management -------------------------------------------------
+    #: Allocating an object on the local heap.
+    alloc_latency: float = 120 * _NS
+    #: Freeing an object on the local heap.
+    free_latency: float = 90 * _NS
+    #: Marginal cost per object of a *bulk* free (amortized free-list ops);
+    #: this is what the scatter list buys in `tryReclaim`.
+    bulk_free_per_object: float = 25 * _NS
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with every constant multiplied by ``factor``.
+
+        Useful for sensitivity sweeps ("would the crossover move on a
+        slower interconnect?") without editing individual fields.
+        """
+        fields: Dict[str, float] = {
+            name: getattr(self, name) * factor
+            for name in self.__dataclass_fields__
+        }
+        return CostModel(**fields)
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        """Return a copy with the given fields replaced.
+
+        A thin, discoverable wrapper over :func:`dataclasses.replace`.
+        """
+        return replace(self, **overrides)
+
+
+#: The default calibration used by every benchmark unless overridden.
+DEFAULT_COSTS = CostModel()

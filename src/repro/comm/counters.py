@@ -1,0 +1,161 @@
+"""Communication diagnostics: counting every PGAS operation by class.
+
+Chapel ships a ``CommDiagnostics`` module that the paper's authors use to
+demonstrate that privatization makes distributed objects "no longer
+communication bound".  This module is the analogue: the network layer
+increments a :class:`CommDiagnostics` instance for every simulated GET, PUT,
+remote atomic, active message and remote fork, bucketed per initiating
+locale.
+
+Counters are also the backbone of several tests and ablations: e.g. the
+privatization ablation asserts that a pinned/unpinned epoch token performs
+*zero* remote operations, and the scatter-list ablation counts AMs saved by
+bulk deallocation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["CommOp", "CommDiagnostics"]
+
+
+class CommOp:
+    """Symbolic names for the operation classes we count."""
+
+    GET = "get"
+    PUT = "put"
+    AMO = "amo"  # remote (NIC) atomic memory operation
+    LOCAL_AMO = "local_amo"  # atomic that stayed on the issuing locale
+    AM = "am"  # active message (remote execution of a closure)
+    FORK = "fork"  # remote task spawn (an `on` statement)
+    BULK = "bulk"  # bulk one-sided transfer
+
+    ALL: Tuple[str, ...] = (GET, PUT, AMO, LOCAL_AMO, AM, FORK, BULK)
+
+
+@dataclass
+class _LocaleCounters:
+    """Per-locale tally of operations initiated by tasks on that locale."""
+
+    get: int = 0
+    put: int = 0
+    amo: int = 0
+    local_amo: int = 0
+    am: int = 0
+    fork: int = 0
+    bulk: int = 0
+    bulk_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (used by reports and tests)."""
+        return {
+            "get": self.get,
+            "put": self.put,
+            "amo": self.amo,
+            "local_amo": self.local_amo,
+            "am": self.am,
+            "fork": self.fork,
+            "bulk": self.bulk,
+            "bulk_bytes": self.bulk_bytes,
+        }
+
+
+class CommDiagnostics:
+    """Thread-safe operation counters for a whole runtime.
+
+    Counting can be paused/resumed (``stop()`` / ``start()``) so benchmarks
+    can exclude setup and teardown, mirroring Chapel's
+    ``startCommDiagnostics`` / ``stopCommDiagnostics``.
+    """
+
+    def __init__(self, num_locales: int) -> None:
+        self._lock = threading.Lock()
+        self._enabled = True
+        self._per_locale: List[_LocaleCounters] = [
+            _LocaleCounters() for _ in range(num_locales)
+        ]
+
+    # -- control ---------------------------------------------------------
+    def start(self) -> None:
+        """Enable counting (the default)."""
+        with self._lock:
+            self._enabled = True
+
+    def stop(self) -> None:
+        """Disable counting; records made while stopped are dropped."""
+        with self._lock:
+            self._enabled = False
+
+    def reset(self) -> None:
+        """Zero all counters on all locales."""
+        with self._lock:
+            for i in range(len(self._per_locale)):
+                self._per_locale[i] = _LocaleCounters()
+
+    # -- recording (called by the network layer) --------------------------
+    def record(self, locale: int, op: str, nbytes: int = 0) -> None:
+        """Attribute one operation of class ``op`` to ``locale``.
+
+        ``nbytes`` is only meaningful for ``CommOp.BULK``.
+        """
+        with self._lock:
+            if not self._enabled:
+                return
+            c = self._per_locale[locale]
+            if op == CommOp.GET:
+                c.get += 1
+            elif op == CommOp.PUT:
+                c.put += 1
+            elif op == CommOp.AMO:
+                c.amo += 1
+            elif op == CommOp.LOCAL_AMO:
+                c.local_amo += 1
+            elif op == CommOp.AM:
+                c.am += 1
+            elif op == CommOp.FORK:
+                c.fork += 1
+            elif op == CommOp.BULK:
+                c.bulk += 1
+                c.bulk_bytes += nbytes
+            else:  # pragma: no cover - programming error
+                raise ValueError(f"unknown comm op {op!r}")
+
+    # -- queries -----------------------------------------------------------
+    def per_locale(self) -> List[Dict[str, int]]:
+        """Snapshot of counters for each locale, in locale order."""
+        with self._lock:
+            return [c.as_dict() for c in self._per_locale]
+
+    def total(self, op: str) -> int:
+        """Total count of one operation class across locales."""
+        with self._lock:
+            return sum(getattr(c, op) for c in self._per_locale)
+
+    def totals(self) -> Dict[str, int]:
+        """Totals of every operation class across locales."""
+        with self._lock:
+            out: Dict[str, int] = {k: 0 for k in CommOp.ALL}
+            out["bulk_bytes"] = 0
+            for c in self._per_locale:
+                d = c.as_dict()
+                for k, v in d.items():
+                    out[k] = out.get(k, 0) + v
+            return out
+
+    def remote_ops(self) -> int:
+        """Total operations that actually crossed the network."""
+        t = self.totals()
+        return t["get"] + t["put"] + t["amo"] + t["am"] + t["fork"] + t["bulk"]
+
+    def iter_nonzero(self) -> Iterator[Tuple[int, str, int]]:
+        """Yield ``(locale, op, count)`` for every nonzero counter."""
+        for loc, d in enumerate(self.per_locale()):
+            for op, count in d.items():
+                if count:
+                    yield loc, op, count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CommDiagnostics(totals={self.totals()})"

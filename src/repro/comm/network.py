@@ -1,0 +1,315 @@
+"""The network model: routing and charging every PGAS operation.
+
+This is the single choke point between algorithm code and the simulated
+interconnect.  Given the runtime's :class:`~repro.runtime.config.NetworkType`
+and :class:`~repro.comm.costs.CostModel`, it decides for each operation
+
+1. which *latency class* applies (CPU atomic / NIC atomic / active message /
+   RDMA data),
+2. which *serial resources* the operation occupies (the target locale's NIC
+   pipeline, its progress thread, and the target cache line), and
+3. which diagnostic counter to bump.
+
+Routing rules (straight from the paper):
+
+=====================  =======================  ==========================
+operation              ``ugni``                 ``none``
+=====================  =======================  ==========================
+64-bit atomic, local   NIC atomic (incoherent!) CPU atomic
+64-bit atomic, remote  NIC (RDMA) atomic        active message round trip
+128-bit DCAS, local    CPU ``CMPXCHG16B``       CPU ``CMPXCHG16B``
+128-bit DCAS, remote   active message           active message
+GET/PUT, local         CPU load/store           CPU load/store
+GET/PUT, remote        RDMA                     RDMA
+remote fork (``on``)   active message           active message
+=====================  =======================  ==========================
+
+The 128-bit row is why the paper's ``AtomicObject (ABA)`` cannot use the
+RDMA fast path: no interconnect offers a 16-byte network atomic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..runtime.clock import ServicePoint, TaskClock
+from .costs import CostModel
+from .counters import CommDiagnostics, CommOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.config import RuntimeConfig
+    from ..runtime.context import TaskContext
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Charges virtual time and counts operations for one runtime instance."""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        self.config = config
+        self.costs: CostModel = config.costs
+        #: Per-locale NIC pipelines (serialize RDMA atomics & data ops).
+        self.nic: List[ServicePoint] = [
+            ServicePoint(f"nic[{i}]") for i in range(config.num_locales)
+        ]
+        #: Per-locale progress threads (serialize active messages).
+        self.progress: List[ServicePoint] = [
+            ServicePoint(f"progress[{i}]") for i in range(config.num_locales)
+        ]
+        #: Operation counters, bucketed by initiating locale.
+        self.diags = CommDiagnostics(config.num_locales)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _serve(
+        self,
+        clock: TaskClock,
+        latency: float,
+        points: Sequence[ServicePoint],
+        services: Sequence[float],
+    ) -> None:
+        """Charge ``latency`` then pass through each (point, service) queue."""
+        t = clock.advance(latency)
+        for point, service in zip(points, services):
+            t = point.serve(t, service)
+        clock.advance_to(t)
+
+    # ------------------------------------------------------------------
+    # atomics
+    # ------------------------------------------------------------------
+    def atomic_op(
+        self,
+        ctx: "TaskContext",
+        home: int,
+        line: ServicePoint,
+        *,
+        wide: bool = False,
+        opt_out: bool = False,
+    ) -> None:
+        """Charge one atomic memory operation against locale ``home``.
+
+        ``line`` is the per-cell service point (the cache line / NIC-side
+        address pipeline for that atomic variable) — this is what makes a
+        *hot* atomic serialize even when the NIC itself has spare capacity.
+
+        ``wide=True`` selects the 128-bit DCAS rules (never RDMA).
+
+        ``opt_out=True`` models the paper's deliberate avoidance of network
+        atomics for variables that are only ever accessed locally (e.g. the
+        per-locale limbo-list heads): the op is priced as a CPU atomic even
+        under ``ugni``.  A remote access to an opted-out atomic still pays
+        the active-message price — opting out removes the NIC detour, not
+        physics.
+        """
+        c = self.costs
+        local = ctx.locale_id == home
+        if opt_out and not wide:
+            if local:
+                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
+                self._serve(
+                    ctx.clock,
+                    c.cpu_atomic_latency,
+                    (line,),
+                    (c.cpu_atomic_service,),
+                )
+            else:
+                self.diags.record(ctx.locale_id, CommOp.AM)
+                self._serve(
+                    ctx.clock,
+                    2.0 * c.am_latency,
+                    (self.progress[home], line),
+                    (c.am_service, c.cpu_atomic_service),
+                )
+            return
+        if wide:
+            if local:
+                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
+                self._serve(
+                    ctx.clock,
+                    c.cpu_dcas_latency,
+                    (line,),
+                    (c.cpu_dcas_service,),
+                )
+            else:
+                # Remote DCAS = remote execution: round trip through the
+                # target's progress thread, then the line.
+                self.diags.record(ctx.locale_id, CommOp.AM)
+                self._serve(
+                    ctx.clock,
+                    2.0 * c.am_latency,
+                    (self.progress[home], line),
+                    (c.am_service, c.cpu_dcas_service),
+                )
+            return
+
+        if self.config.uses_network_atomics:
+            # ugni: every atomic — even a locale-local one — rides the NIC.
+            latency = (
+                c.nic_atomic_local_latency if local else c.nic_atomic_remote_latency
+            )
+            self.diags.record(
+                ctx.locale_id, CommOp.LOCAL_AMO if local else CommOp.AMO
+            )
+            self._serve(
+                ctx.clock,
+                latency,
+                (self.nic[home], line),
+                (c.nic_atomic_service, c.nic_atomic_service),
+            )
+        else:
+            if local:
+                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
+                self._serve(
+                    ctx.clock,
+                    c.cpu_atomic_latency,
+                    (line,),
+                    (c.cpu_atomic_service,),
+                )
+            else:
+                # none: remote atomic demotes to an AM round trip.
+                self.diags.record(ctx.locale_id, CommOp.AM)
+                self._serve(
+                    ctx.clock,
+                    2.0 * c.am_latency,
+                    (self.progress[home], line),
+                    (c.am_service, c.cpu_atomic_service),
+                )
+
+    # ------------------------------------------------------------------
+    # one-sided data movement
+    # ------------------------------------------------------------------
+    def read(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
+        """Charge a GET of ``nbytes`` from locale ``home``."""
+        c = self.costs
+        if ctx.locale_id == home:
+            ctx.clock.advance(c.cpu_load_latency)
+            return
+        self.diags.record(ctx.locale_id, CommOp.GET)
+        self._serve(
+            ctx.clock,
+            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
+            (self.nic[home],),
+            (c.rdma_service,),
+        )
+
+    def write(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
+        """Charge a PUT of ``nbytes`` to locale ``home``."""
+        c = self.costs
+        if ctx.locale_id == home:
+            ctx.clock.advance(c.cpu_load_latency)
+            return
+        self.diags.record(ctx.locale_id, CommOp.PUT)
+        self._serve(
+            ctx.clock,
+            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
+            (self.nic[home],),
+            (c.rdma_service,),
+        )
+
+    def bulk(self, ctx: "TaskContext", home: int, nbytes: int) -> None:
+        """Charge a bulk one-sided transfer of ``nbytes`` to/from ``home``."""
+        c = self.costs
+        if ctx.locale_id == home:
+            ctx.clock.advance(c.cpu_load_latency + nbytes * c.rdma_byte_cost)
+            return
+        self.diags.record(ctx.locale_id, CommOp.BULK, nbytes=nbytes)
+        self._serve(
+            ctx.clock,
+            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
+            (self.nic[home],),
+            (c.rdma_service,),
+        )
+
+    # ------------------------------------------------------------------
+    # remote execution
+    # ------------------------------------------------------------------
+    def remote_fork(self, ctx: "TaskContext", target: int) -> None:
+        """Charge initiating an ``on`` statement (blocking remote fork)."""
+        if ctx.locale_id == target:
+            return
+        c = self.costs
+        self.diags.record(ctx.locale_id, CommOp.FORK)
+        self._serve(
+            ctx.clock,
+            c.task_spawn_remote,
+            (self.progress[target],),
+            (c.am_service,),
+        )
+
+    def remote_return(self, ctx: "TaskContext", origin: int) -> None:
+        """Charge returning from an ``on`` statement back to ``origin``."""
+        if ctx.locale_id == origin:
+            return
+        self.diags.record(ctx.locale_id, CommOp.AM)
+        self._serve(
+            ctx.clock,
+            self.costs.am_latency,
+            (self.progress[origin],),
+            (self.costs.am_service,),
+        )
+
+    def am_roundtrip(self, ctx: "TaskContext", target: int) -> None:
+        """Charge a generic RPC to ``target`` (request + response)."""
+        c = self.costs
+        if ctx.locale_id == target:
+            ctx.clock.advance(c.cpu_load_latency)
+            return
+        self.diags.record(ctx.locale_id, CommOp.AM)
+        self._serve(
+            ctx.clock,
+            2.0 * c.am_latency,
+            (self.progress[target],),
+            (c.am_service,),
+        )
+
+    # ------------------------------------------------------------------
+    # memory management costs
+    # ------------------------------------------------------------------
+    def alloc(self, ctx: "TaskContext", home: int) -> None:
+        """Charge allocating one object on ``home``.
+
+        A remote allocation is remote execution (an AM round trip), which is
+        why the paper allocates nodes locally and publishes them with one
+        atomic.
+        """
+        c = self.costs
+        if ctx.locale_id == home:
+            ctx.clock.advance(c.alloc_latency)
+        else:
+            self.am_roundtrip(ctx, home)
+            ctx.clock.advance(c.alloc_latency)
+
+    def free(self, ctx: "TaskContext", home: int) -> None:
+        """Charge freeing one object on ``home`` (remote => RPC)."""
+        c = self.costs
+        if ctx.locale_id == home:
+            ctx.clock.advance(c.free_latency)
+        else:
+            self.am_roundtrip(ctx, home)
+            ctx.clock.advance(c.free_latency)
+
+    def bulk_free(self, ctx: "TaskContext", home: int, count: int) -> None:
+        """Charge freeing ``count`` objects on ``home`` as one batch.
+
+        This is the scatter-list payoff: one RPC (if remote) plus an
+        amortized per-object cost, instead of ``count`` RPCs.
+        """
+        if count <= 0:
+            return
+        c = self.costs
+        if ctx.locale_id != home:
+            self.am_roundtrip(ctx, home)
+        ctx.clock.advance(c.free_latency + (count - 1) * c.bulk_free_per_object)
+
+    # ------------------------------------------------------------------
+    # measurement control
+    # ------------------------------------------------------------------
+    def reset_measurements(self) -> None:
+        """Zero all service points and counters (between benchmark trials)."""
+        for p in self.nic:
+            p.reset()
+        for p in self.progress:
+            p.reset()
+        self.diags.reset()

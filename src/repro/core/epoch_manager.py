@@ -1,0 +1,423 @@
+"""``EpochManager``: lock-free Epoch-Based Reclamation for distributed memory.
+
+The paper's second contribution.  One privatized instance lives on every
+locale; each instance owns
+
+* a cached copy of the global epoch (``locale_epoch``),
+* three limbo lists — one per possible epoch in the 3-epoch cycle
+  {1, 2, 3} — fed by a shared node-recycling pool,
+* the token free/allocated lists for tasks registering on that locale,
+* a per-locale election flag (``is_setting_epoch``).
+
+A single *global epoch* object (an atomic epoch number plus a global
+election flag) lives on the creating locale and is the only piece of
+distributed shared state; everything else is locale-private, which is what
+keeps pin/unpin/defer at CPU-atomic cost (Figure 7's flat curve).
+
+``try_reclaim`` follows the paper's Listing 4 step for step:
+
+1. **Election** — ``testAndSet`` the local flag (losers leave instantly:
+   someone on this locale is already trying), then the global flag (losers
+   clear their local flag and leave).  First-come-first-served election
+   keeps the global-epoch locale from being swamped by redundant requests.
+2. **Scan** — a ``coforall`` over locales checks every allocated token:
+   any token pinned in an epoch other than the current one vetoes.
+3. **Advance** — write ``(e % 3) + 1`` to the global epoch, then on every
+   locale: refresh the cached epoch, drain the *oldest* limbo list (the
+   epoch two advances back — its objects were logically removed before all
+   currently-possible pins began), and **scatter** the dead objects by
+   owning locale.
+4. **Bulk delete** — every locale gathers the scatter entries destined for
+   it (one bulk transfer per source locale) and frees them as one batch,
+   instead of one remote free per object.
+
+``clear`` drains *all* lists unconditionally and requires the caller to
+guarantee quiescence (its documented contract, as in the paper).
+
+Non-blocking character: no step waits on another task — election losers
+return immediately, the scan reads token slots without acquiring anything,
+and a failed advance is simply reported as ``False``.  A task that dies
+while pinned blocks advancement forever (the known EBR liveness caveat) but
+never blocks other tasks' operations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..atomics.integer import AtomicBool, AtomicUInt64
+from ..errors import EpochManagerError
+from ..memory.address import GlobalAddress
+from ..runtime.context import current_context
+from .limbo_list import LimboList, NodePool
+from .privatization import PrivatizedObject
+from .token import Token, TokenAllocatedList, TokenFreeList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+
+__all__ = ["EpochManager", "EpochManagerStats", "EPOCH_CYCLE"]
+
+#: Default epoch cycle: epochs run 1 -> 2 -> 3 -> 1 (0 = "not in any
+#: epoch"), matching the paper's three limbo lists.  A manager can be
+#: created with ``epoch_cycle=4`` to hold objects one extra advance —
+#: closing the mid-advance stale-cache window analysed in DESIGN.md §6b at
+#: the cost of one more limbo list and one epoch of extra memory residency.
+EPOCH_CYCLE = 3
+
+
+class EpochManagerStats:
+    """Aggregate counters for one manager (tests & EXPERIMENTS.md tables)."""
+
+    __slots__ = (
+        "reclaim_attempts",
+        "elections_lost_local",
+        "elections_lost_global",
+        "scans_unsafe",
+        "advances",
+        "objects_reclaimed",
+    )
+
+    def __init__(self) -> None:
+        self.reclaim_attempts = 0
+        self.elections_lost_local = 0
+        self.elections_lost_global = 0
+        self.scans_unsafe = 0
+        self.advances = 0
+        self.objects_reclaimed = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _GlobalEpoch:
+    """The single distributed object: epoch number + global election flag."""
+
+    def __init__(self, runtime: "Runtime", home: int) -> None:
+        self.home = home
+        #: The authoritative epoch, a true network atomic (remote locales
+        #: read and CAS it during reclamation).
+        self.epoch = AtomicUInt64(runtime, home, 1, name=f"global_epoch@{home}")
+        #: Global election flag (Listing 4's `global_epoch.is_setting_epoch`).
+        self.is_setting_epoch = AtomicBool(
+            runtime, home, False, name=f"global_setting@{home}"
+        )
+
+
+class _EpochManagerInstance:
+    """The privatized per-locale instance (never touched remotely)."""
+
+    def __init__(
+        self,
+        manager: "EpochManager",
+        runtime: "Runtime",
+        locale_id: int,
+        cycle: int = EPOCH_CYCLE,
+    ) -> None:
+        self.manager = manager
+        self.runtime = runtime
+        self.locale_id = locale_id
+        self.cycle = cycle
+        #: Locale-private cache of the global epoch (opted out of network
+        #: atomics: only local tasks and locally-running reclaim code read it).
+        self.locale_epoch = AtomicUInt64(
+            runtime, locale_id, 1, name=f"locale_epoch@{locale_id}", opt_out=True
+        )
+        #: Per-locale election flag.
+        self.is_setting_epoch = AtomicBool(
+            runtime, locale_id, False, name=f"local_setting@{locale_id}", opt_out=True
+        )
+        #: Shared recycling pool for the three limbo lists.
+        self.pool = NodePool(runtime, locale_id)
+        #: One limbo list per epoch in the cycle (index = epoch - 1).
+        self.limbo_lists: List[LimboList] = [
+            LimboList(runtime, locale_id, self.pool, name=f"limbo{e}@{locale_id}")
+            for e in range(1, cycle + 1)
+        ]
+        self.free_tokens = TokenFreeList(runtime, locale_id)
+        self.allocated_tokens = TokenAllocatedList(runtime, locale_id)
+        self._token_seq = 0
+        self._token_seq_lock = threading.Lock()
+        #: Objects deferred through tokens on this locale (diagnostic).
+        self.deferred_count = 0
+
+    def make_token(self) -> Token:
+        """Create a brand-new token and link it into the allocated list."""
+        with self._token_seq_lock:
+            tid = self._token_seq
+            self._token_seq += 1
+        token = Token(self, tid)
+        self.allocated_tokens.push(token)
+        return token
+
+
+class EpochManager(PrivatizedObject):
+    """Distributed, privatized, lock-free epoch-based memory reclamation.
+
+    Parameters
+    ----------
+    runtime:
+        The simulated PGAS machine.
+    use_election:
+        Ablation hook: when False, ``try_reclaim`` skips the
+        first-come-first-served flags and every caller proceeds to the
+        global scan (the paper's design rationale in reverse).
+    use_scatter:
+        Ablation hook: when False, reclamation frees each dead object
+        individually from the draining locale (remote objects then cost a
+        round trip *each* instead of riding one bulk transfer).
+    home:
+        Locale holding the global epoch object (defaults to the creating
+        task's locale, locale 0 outside a task).
+    epoch_cycle:
+        Number of epochs in the cycle (and limbo lists per locale).  The
+        paper's design — and the default — is 3; ``4`` holds objects one
+        extra advance, closing the mid-advance stale-locale-cache window
+        (DESIGN.md §6b) at the cost of extra memory residency.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        *,
+        use_election: bool = True,
+        use_scatter: bool = True,
+        home: Optional[int] = None,
+        epoch_cycle: int = EPOCH_CYCLE,
+    ) -> None:
+        from ..runtime.context import maybe_context
+
+        if epoch_cycle < 3:
+            raise ValueError(
+                "epoch_cycle must be >= 3 (two full advances of quiescence)"
+            )
+        if home is None:
+            ctx = maybe_context()
+            home = ctx.locale_id if ctx is not None else 0
+        self.epoch_cycle = int(epoch_cycle)
+        self.global_epoch = _GlobalEpoch(runtime, runtime.locale(home).id)
+        self.use_election = bool(use_election)
+        self.use_scatter = bool(use_scatter)
+        self.stats = EpochManagerStats()
+        self._stats_lock = threading.Lock()
+        self._destroyed = False
+        instances = [
+            _EpochManagerInstance(self, runtime, lid, cycle=self.epoch_cycle)
+            for lid in range(runtime.num_locales)
+        ]
+        super().__init__(runtime, instances)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise EpochManagerError("EpochManager used after destroy()")
+
+    def register(self) -> Token:
+        """Obtain a token on the calling task's locale.
+
+        Pops the locale's free list (lock-free) or creates a fresh token.
+        The token starts *unpinned*; it may be reused for many operations
+        before :meth:`Token.unregister`.
+        """
+        self._check_alive()
+        inst: _EpochManagerInstance = self.get_privatized_instance()
+        token = inst.free_tokens.pop()
+        if token is None:
+            token = inst.make_token()
+        else:
+            token._registered = True
+        return token
+
+    # ------------------------------------------------------------------
+    # reclamation
+    # ------------------------------------------------------------------
+    def try_reclaim(self) -> bool:
+        """Attempt to advance the epoch and reclaim the oldest limbo lists.
+
+        Returns True iff the epoch advanced (and reclamation ran).  Safe to
+        call from any task at any time; losers of the election (or an
+        unsafe scan) return quickly without blocking anyone — the method's
+        lock-freedom is what keeps the manager from weakening the
+        guarantees of structures built on it.
+        """
+        self._check_alive()
+        rt = self._rt
+        inst: _EpochManagerInstance = self.get_privatized_instance()
+        with self._stats_lock:
+            self.stats.reclaim_attempts += 1
+
+        if self.use_election:
+            # Listing 4 lines 2-6: local flag first, then the global flag.
+            if inst.is_setting_epoch.test_and_set():
+                with self._stats_lock:
+                    self.stats.elections_lost_local += 1
+                return False
+            if self.global_epoch.is_setting_epoch.test_and_set():
+                inst.is_setting_epoch.clear()
+                with self._stats_lock:
+                    self.stats.elections_lost_global += 1
+                return False
+
+        try:
+            advanced = self._scan_and_advance()
+        finally:
+            if self.use_election:
+                self.global_epoch.is_setting_epoch.clear()
+                inst.is_setting_epoch.clear()
+        return advanced
+
+    tryReclaim = try_reclaim
+
+    def _scan_and_advance(self) -> bool:
+        """The scan + advance + drain + bulk-delete pipeline (Listing 4)."""
+        rt = self._rt
+        this_epoch = self.global_epoch.epoch.read()
+
+        # -- 2. global scan: is every token quiescent or current? --------
+        votes: List[bool] = [True] * rt.num_locales
+
+        def scan_locale(lid: int) -> None:
+            inst_l: _EpochManagerInstance = self.get_privatized_instance(lid)
+            for token in inst_l.allocated_tokens:
+                e = token.local_epoch.read()
+                if e != 0 and e != this_epoch:
+                    votes[lid] = False
+                    break
+
+        rt.coforall_locales(scan_locale)
+        if not all(votes):
+            with self._stats_lock:
+                self.stats.scans_unsafe += 1
+            return False
+
+        # -- 3. advance the global epoch ---------------------------------
+        # A CAS rather than a blind write: with the election enabled there
+        # is exactly one setter and the CAS always succeeds (same cost as
+        # a write); with the election disabled (ablation) concurrent
+        # reclaimers may race here and exactly one wins — the losers back
+        # off without draining, keeping reclamation single-owner.
+        cycle = self.epoch_cycle
+        new_epoch = (this_epoch % cycle) + 1
+        if not self.global_epoch.epoch.compare_and_swap(this_epoch, new_epoch):
+            with self._stats_lock:
+                self.stats.scans_unsafe += 1
+            return False
+
+        # The list for the epoch *after* new — the oldest in the cycle,
+        # cycle-1 advances back — is the one whose objects have provably
+        # quiesced: index (new % cycle).
+        reclaim_index = new_epoch % cycle
+
+        reclaimed = self._drain_and_free([reclaim_index], new_epoch=new_epoch)
+        with self._stats_lock:
+            self.stats.advances += 1
+            self.stats.objects_reclaimed += reclaimed
+        return True
+
+    def _drain_and_free(
+        self, indices: Sequence[int], *, new_epoch: Optional[int] = None
+    ) -> int:
+        """Drain the given limbo-list indices on every locale and free.
+
+        Phase A (per locale): refresh the cached epoch, pop the chains,
+        group dead addresses by owning locale (the scatter list).
+        Phase B (per locale): gather everything destined here — one bulk
+        transfer per source locale — and free it as one batch.
+        """
+        rt = self._rt
+        freed_total = [0] * rt.num_locales
+        # Per-call scatter staging (indexed by draining locale).  Staged in
+        # the reclaim call rather than on the instances so that concurrent
+        # reclaims (possible only in the no-election ablation) can never
+        # observe each other's half-built scatter lists.
+        staged: List[Dict[int, List[int]]] = [dict() for _ in range(rt.num_locales)]
+
+        def drain_locale(lid: int) -> None:
+            inst_l: _EpochManagerInstance = self.get_privatized_instance(lid)
+            if new_epoch is not None:
+                inst_l.locale_epoch.write(new_epoch)
+            scatter: Dict[int, List[int]] = {}
+            for idx in indices:
+                for addr in inst_l.limbo_lists[idx].drain():
+                    scatter.setdefault(addr.locale, []).append(addr.offset)
+            if self.use_scatter:
+                staged[lid] = scatter
+            else:
+                # Ablation: free each object directly; remote ones pay a
+                # full round trip apiece.
+                n = 0
+                for target, offsets in scatter.items():
+                    for off in offsets:
+                        rt.free(GlobalAddress(target, off))
+                        n += 1
+                freed_total[lid] = n
+
+        rt.coforall_locales(drain_locale)
+
+        if self.use_scatter:
+
+            def gather_and_free(lid: int) -> None:
+                ctx = current_context()
+                mine: List[int] = []
+                for src in range(rt.num_locales):
+                    batch = staged[src].get(lid)
+                    if batch:
+                        # One bulk transfer of the address list per source.
+                        rt.network.bulk(ctx, src, nbytes=8 * len(batch))
+                        mine.extend(batch)
+                if mine:
+                    freed_total[lid] = rt.free_bulk(lid, mine)
+
+            rt.coforall_locales(gather_and_free)
+
+        return sum(freed_total)
+
+    def clear(self) -> int:
+        """Reclaim *everything* across all epochs and locales.
+
+        Contract (from the paper): call only when no other task is
+        interacting with the manager — e.g. after a ``forall`` has joined.
+        Returns the number of objects freed.
+        """
+        self._check_alive()
+        freed = self._drain_and_free(list(range(self.epoch_cycle)))
+        with self._stats_lock:
+            self.stats.objects_reclaimed += freed
+        return freed
+
+    # ------------------------------------------------------------------
+    # lifecycle & introspection
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Reclaim all remaining objects and drop per-locale instances."""
+        if self._destroyed:
+            return
+        self.clear()
+        self._destroyed = True
+        self._drop_instances()
+
+    def current_epoch(self) -> int:
+        """Cost-free read of the global epoch (tests only)."""
+        return self.global_epoch.epoch.peek()
+
+    def pending_count(self) -> int:
+        """Cost-free count of objects currently in limbo (tests only)."""
+        total = 0
+        for lid in range(self._rt.num_locales):
+            inst: _EpochManagerInstance = self.get_privatized_instance(lid)
+            for lst in inst.limbo_lists:
+                node = lst._head.peek()
+                while node is not None:
+                    total += 1
+                    node = node.next
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EpochManager(epoch={self.current_epoch()},"
+            f" advances={self.stats.advances})"
+        )

@@ -1,0 +1,176 @@
+"""``LocalEpochManager``: the shared-memory-optimized EBR variant.
+
+Functionally the paper's ``LocalEpochManager``: same token / limbo-list /
+3-epoch machinery as :class:`~repro.core.epoch_manager.EpochManager`, but
+
+* there is exactly **one** instance, on the creating locale — no
+  privatization table, no per-locale fan-out;
+* there is **no global epoch object** — the locale epoch *is* the epoch,
+  so ``try_reclaim`` never leaves the locale (no coforall, no network
+  flags);
+* remote objects are **not** considered: deferring a remote address is an
+  error (the paper's variant simply doesn't handle them), so reclamation
+  is always a purely local bulk free.
+
+Use it for structures confined to one locale; the speedup over the
+distributed manager on single-locale workloads is itself an ablation bench
+(`benchmarks/bench_ablation_local_manager.py`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..atomics.integer import AtomicBool, AtomicUInt64
+from ..errors import EpochManagerError, TokenStateError
+from ..memory.address import GlobalAddress
+from .epoch_manager import EPOCH_CYCLE, EpochManagerStats
+from .limbo_list import LimboList, NodePool
+from .token import Token, TokenAllocatedList, TokenFreeList
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+
+__all__ = ["LocalEpochManager"]
+
+
+class LocalEpochManager:
+    """Single-locale epoch-based reclamation (no distributed state)."""
+
+    def __init__(self, runtime: "Runtime", *, locale: Optional[int] = None) -> None:
+        from ..runtime.context import maybe_context
+
+        if locale is None:
+            ctx = maybe_context()
+            locale = ctx.locale_id if ctx is not None else 0
+        self.runtime = runtime
+        self.locale_id = runtime.locale(locale).id
+        #: The (only) epoch counter; opted out of network atomics.
+        self.locale_epoch = AtomicUInt64(
+            runtime, self.locale_id, 1, name=f"lem_epoch@{self.locale_id}", opt_out=True
+        )
+        self.is_setting_epoch = AtomicBool(
+            runtime, self.locale_id, False, name=f"lem_flag@{self.locale_id}", opt_out=True
+        )
+        self.pool = NodePool(runtime, self.locale_id)
+        self.limbo_lists: List[LimboList] = [
+            LimboList(runtime, self.locale_id, self.pool, name=f"lem_limbo{e}")
+            for e in range(1, EPOCH_CYCLE + 1)
+        ]
+        self.free_tokens = TokenFreeList(runtime, self.locale_id)
+        self.allocated_tokens = TokenAllocatedList(runtime, self.locale_id)
+        self._token_seq = 0
+        self._token_seq_lock = threading.Lock()
+        self.stats = EpochManagerStats()
+        self._stats_lock = threading.Lock()
+        self._destroyed = False
+        #: Token compatibility shims (Token expects a manager-instance API).
+        self.manager = self
+        self.deferred_count = 0
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise EpochManagerError("LocalEpochManager used after destroy()")
+
+    def make_token(self) -> Token:
+        """(Token-machinery hook) create and link a fresh token."""
+        with self._token_seq_lock:
+            tid = self._token_seq
+            self._token_seq += 1
+        token = Token(self, tid)  # Token only needs the instance interface
+        self.allocated_tokens.push(token)
+        return token
+
+    def register(self) -> Token:
+        """Obtain a token; caller must be on the manager's locale."""
+        self._check_alive()
+        from ..runtime.context import current_context
+
+        ctx = current_context()
+        if ctx.locale_id != self.locale_id:
+            raise TokenStateError(
+                f"LocalEpochManager on locale {self.locale_id} cannot register"
+                f" a task on locale {ctx.locale_id}; use EpochManager"
+            )
+        token = self.free_tokens.pop()
+        if token is None:
+            token = self.make_token()
+        else:
+            token._registered = True
+        return token
+
+    # ------------------------------------------------------------------
+    def try_reclaim(self) -> bool:
+        """Advance the local epoch if every local token allows it.
+
+        Entirely locale-local: one flag, one scan over this locale's
+        tokens, one limbo-list drain, one bulk free.
+        """
+        self._check_alive()
+        with self._stats_lock:
+            self.stats.reclaim_attempts += 1
+        if self.is_setting_epoch.test_and_set():
+            with self._stats_lock:
+                self.stats.elections_lost_local += 1
+            return False
+        try:
+            this_epoch = self.locale_epoch.read()
+            for token in self.allocated_tokens:
+                e = token.local_epoch.read()
+                if e != 0 and e != this_epoch:
+                    with self._stats_lock:
+                        self.stats.scans_unsafe += 1
+                    return False
+            new_epoch = (this_epoch % EPOCH_CYCLE) + 1
+            self.locale_epoch.write(new_epoch)
+            freed = self._drain([new_epoch % EPOCH_CYCLE])
+            with self._stats_lock:
+                self.stats.advances += 1
+                self.stats.objects_reclaimed += freed
+            return True
+        finally:
+            self.is_setting_epoch.clear()
+
+    tryReclaim = try_reclaim
+
+    def _drain(self, indices: List[int]) -> int:
+        """Drain the given limbo lists; everything must be local."""
+        offsets: List[int] = []
+        for idx in indices:
+            for addr in self.limbo_lists[idx].drain():
+                if addr.locale != self.locale_id:
+                    raise TokenStateError(
+                        "LocalEpochManager does not support remote objects;"
+                        f" got an address on locale {addr.locale}"
+                    )
+                offsets.append(addr.offset)
+        if offsets:
+            return self.runtime.free_bulk(self.locale_id, offsets)
+        return 0
+
+    def clear(self) -> int:
+        """Reclaim everything (caller guarantees quiescence)."""
+        self._check_alive()
+        freed = self._drain(list(range(EPOCH_CYCLE)))
+        with self._stats_lock:
+            self.stats.objects_reclaimed += freed
+        return freed
+
+    def destroy(self) -> None:
+        """Final clear; further use raises."""
+        if self._destroyed:
+            return
+        self.clear()
+        self._destroyed = True
+
+    def current_epoch(self) -> int:
+        """Cost-free read of the epoch (tests only)."""
+        return self.locale_epoch.peek()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LocalEpochManager(locale={self.locale_id},"
+            f" epoch={self.current_epoch()})"
+        )

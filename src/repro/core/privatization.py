@@ -1,0 +1,90 @@
+"""Privatization: record-wrapped handles that resolve locally for free.
+
+Chapel's "privatized" objects keep one instance per locale and forward all
+accesses to the local one; the *record-wrapped* handle carries just the
+privatization id **by value**, so acquiring the local instance requires no
+communication at all — not even the metadata round trip a by-reference
+handle would pay.  The paper credits this pattern (also the backbone of
+Chapel arrays/domains and of CAL/CGL/CHGL/RCUArray) with making distributed
+objects "no longer communication bound".
+
+:class:`PrivatizedObject` packages the pattern: subclasses build one
+instance per locale, register them, and call
+:meth:`get_privatized_instance` on every operation.  The privatization
+ablation benchmark compares this against a deliberately naive
+:class:`UnprivatizedProxy` whose every resolution costs a GET from the
+owner locale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Sequence
+
+from ..runtime.context import current_context, maybe_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+
+__all__ = ["PrivatizedObject", "UnprivatizedProxy"]
+
+
+class PrivatizedObject:
+    """Base class for objects with one privatized instance per locale."""
+
+    def __init__(self, runtime: "Runtime", instances: Sequence[Any]) -> None:
+        self._rt = runtime
+        #: The record-wrapped id; the only state a handle needs.
+        self._pid = runtime.register_privatized(instances)
+
+    @property
+    def runtime(self) -> "Runtime":
+        """The owning runtime."""
+        return self._rt
+
+    @property
+    def pid(self) -> int:
+        """The privatization id (a small integer, copied by value)."""
+        return self._pid
+
+    def get_privatized_instance(self, locale_id: "int | None" = None) -> Any:
+        """Resolve the instance local to the calling task (zero cost).
+
+        This is the zero-communication fast path; it is called on *every*
+        operation, which is exactly why it must not touch the network.
+        """
+        return self._rt.privatized_instance(self._pid, locale_id)
+
+    # Chapel-style alias (Listing 4 spelling).
+    getPrivatizedInstance = get_privatized_instance
+
+    def _drop_instances(self) -> None:
+        """Release the per-locale instances (called by ``destroy()``)."""
+        self._rt.drop_privatized(self._pid)
+
+
+class UnprivatizedProxy:
+    """A deliberately naive handle that pays communication per resolution.
+
+    Models what the paper's Section II-C says happens *without*
+    record-wrapping/privatization: every access first fetches the object's
+    metadata from its owner locale (one GET), making the object
+    communication-bound.  Exists purely as the baseline for the
+    privatization ablation.
+    """
+
+    def __init__(self, runtime: "Runtime", instances: Sequence[Any], owner: int = 0) -> None:
+        self._rt = runtime
+        self._instances: List[Any] = list(instances)
+        #: Locale holding the canonical metadata.
+        self.owner = owner
+
+    def get_privatized_instance(self, locale_id: "int | None" = None) -> Any:
+        """Resolve the per-locale instance *after* a metadata round trip."""
+        ctx = maybe_context()
+        if ctx is not None:
+            # The metadata fetch a by-reference handle performs.
+            self._rt.network.read(ctx, self.owner, nbytes=32)
+            lid = locale_id if locale_id is not None else ctx.locale_id
+        else:
+            lid = locale_id if locale_id is not None else 0
+        return self._instances[lid]

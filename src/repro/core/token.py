@@ -1,0 +1,226 @@
+"""Epoch-manager tokens: per-task handles into the reclamation protocol.
+
+A task must *register* with the epoch manager before touching a protected
+structure, obtaining a :class:`Token`; while holding one it *pins* to enter
+the current epoch and *unpins* to leave it.  Between pin and unpin it may
+``defer_delete`` logically-removed objects, which land in the limbo list of
+the token's pinned epoch.
+
+Two lock-free lists manage tokens, exactly as in the paper:
+
+* a **free list** (Treiber stack) used by register/unregister, so token
+  objects — and their epoch slots — are recycled rather than allocated;
+* an **allocated list** (append-only push list) that ``tryReclaim`` scans
+  to find whether any task is still in an old epoch.  Tokens are never
+  removed from it; an unregistered token simply shows epoch 0 (quiescent).
+
+A token is locale-bound: it lives on the locale where it was registered and
+must be pinned/unpinned there (which the ``forall`` task-private intent
+guarantees naturally).  Tokens support the context-manager protocol and a
+``close()`` method so ``forall(..., task_init=em.register)`` unregisters
+automatically when the task ends — the analogue of the paper's managed
+wrapper class unregistering at scope exit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from ..atomics.integer import AtomicUInt64
+from ..atomics.ref import AtomicRef
+from ..errors import TokenStateError
+from ..memory.address import GlobalAddress
+from ..runtime.context import current_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+    from .epoch_manager import _EpochManagerInstance
+
+__all__ = ["Token", "TokenFreeList", "TokenAllocatedList"]
+
+
+class Token:
+    """One task's registration with an epoch-manager instance."""
+
+    __slots__ = ("_inst", "local_epoch", "token_id", "_registered", "_free_next", "_alloc_next")
+
+    def __init__(self, inst: "_EpochManagerInstance", token_id: int) -> None:
+        self._inst = inst
+        #: The epoch this token is pinned in; 0 = quiescent (not pinned).
+        #: Opted out of network atomics: only tasks on the home locale and
+        #: the reclamation scan (which runs *on* this locale) touch it.
+        self.local_epoch = AtomicUInt64(
+            inst.runtime,
+            inst.locale_id,
+            0,
+            name=f"token{token_id}@{inst.locale_id}",
+            opt_out=True,
+        )
+        self.token_id = token_id
+        self._registered = True
+        self._free_next: Optional["Token"] = None  # free-list link
+        self._alloc_next: Optional["Token"] = None  # allocated-list link
+
+    # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        if not self._registered:
+            raise TokenStateError("token has been unregistered")
+        ctx = current_context()
+        if ctx.locale_id != self._inst.locale_id:
+            raise TokenStateError(
+                f"token registered on locale {self._inst.locale_id} used from"
+                f" locale {ctx.locale_id}; register per-task on each locale"
+            )
+
+    @property
+    def is_registered(self) -> bool:
+        """True until :meth:`unregister` is called."""
+        return self._registered
+
+    @property
+    def is_pinned(self) -> bool:
+        """Cost-free pinned check (tests / assertions)."""
+        return self.local_epoch.peek() != 0
+
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        """Enter the current epoch (cached per-locale; zero communication).
+
+        Publishes the epoch to the token slot and then *re-validates* that
+        the locale epoch did not advance in between — the standard EBR
+        guard against the read/announce race (an advance that scanned the
+        slot before the write could otherwise run ahead of a pin taken
+        from a stale epoch).  The loop re-runs only when an advance lands
+        in the tiny read-write window, so the common case is exactly two
+        local CPU atomics.
+
+        A long-pinned token is what *blocks* epoch advancement, so
+        pin/unpin should bracket operations tightly.
+        """
+        self._check_usable()
+        epoch = self._inst.locale_epoch.read()
+        while True:
+            self.local_epoch.write(epoch)
+            current = self._inst.locale_epoch.read()
+            if current == epoch:
+                return
+            epoch = current
+
+    def unpin(self) -> None:
+        """Leave the epoch (become quiescent)."""
+        self._check_usable()
+        self.local_epoch.write(0)
+
+    def defer_delete(self, addr: GlobalAddress) -> None:
+        """Defer reclamation of ``addr`` to the *current* (locale) epoch.
+
+        The object must already be *logically removed* (unreachable from
+        the structure); the epoch protocol delays the physical free until
+        every task that might still hold a reference has quiesced.
+
+        Epoch choice — a subtle but load-bearing detail: the object is
+        filed under the locale's **current** epoch, not the token's pinned
+        epoch.  A token may legitimately remain pinned one epoch behind
+        (Figure 1 allows it), and filing under that stale epoch would
+        place an object removed *now* into a list only one advance from
+        reclamation — freeing it while a token pinned in the current epoch
+        may still hold a reference.  Our property-based test
+        (``test_no_premature_free_under_any_schedule``) found exactly this
+        with the stale-epoch rule; filing under the locale epoch restores
+        the two-full-advances quiescence guarantee.
+        """
+        self._check_usable()
+        if self.local_epoch.read() == 0:
+            raise TokenStateError("defer_delete requires a pinned token")
+        epoch = self._inst.locale_epoch.read()
+        self._inst.limbo_lists[epoch - 1].push(addr)
+        self._inst.deferred_count += 1  # diagnostic; benign race
+
+    # Chapel-style alias.
+    deferDelete = defer_delete
+
+    def try_reclaim(self) -> bool:
+        """Attempt a global epoch advance (defers to the manager)."""
+        self._check_usable()
+        return self._inst.manager.try_reclaim()
+
+    tryReclaim = try_reclaim
+
+    # ------------------------------------------------------------------
+    def unregister(self) -> None:
+        """Release the token back to its locale's free list (idempotent)."""
+        if not self._registered:
+            return
+        self.local_epoch.write(0)
+        self._registered = False
+        self._inst.free_tokens.push(self)
+
+    def close(self) -> None:
+        """Alias for :meth:`unregister`; hooks ``forall`` task cleanup."""
+        self.unregister()
+
+    def __enter__(self) -> "Token":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unregister()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Token(id={self.token_id}, locale={self._inst.locale_id},"
+            f" epoch={self.local_epoch.peek()}, registered={self._registered})"
+        )
+
+
+class TokenFreeList:
+    """Lock-free Treiber stack of unregistered tokens (intrusive)."""
+
+    def __init__(self, runtime: "Runtime", home: int) -> None:
+        self._head = AtomicRef(runtime, home, None, name=f"tokenfree@{home}")
+
+    def push(self, token: Token) -> None:
+        """Return ``token`` for reuse by a later ``register()``."""
+        while True:
+            head = self._head.read()
+            token._free_next = head
+            if self._head.compare_and_swap(head, token):
+                return
+
+    def pop(self) -> Optional[Token]:
+        """Take a recycled token, or ``None`` when the list is empty."""
+        while True:
+            token = self._head.read()
+            if token is None:
+                return None
+            if self._head.compare_and_swap(token, token._free_next):
+                token._free_next = None
+                return token
+
+
+class TokenAllocatedList:
+    """Append-only lock-free list of every token ever created here.
+
+    ``tryReclaim`` walks it to compute the minimum epoch; unregistered
+    tokens read as epoch 0 and never block advancement.
+    """
+
+    def __init__(self, runtime: "Runtime", home: int) -> None:
+        self._head = AtomicRef(runtime, home, None, name=f"tokenalloc@{home}")
+        #: Total tokens ever allocated on this locale (diagnostic).
+        self.count = 0
+
+    def push(self, token: Token) -> None:
+        """Link a newly-created token (never removed afterwards)."""
+        while True:
+            head = self._head.read()
+            token._alloc_next = head
+            if self._head.compare_and_swap(head, token):
+                self.count += 1  # benign race: diagnostic only
+                return
+
+    def __iter__(self) -> Iterator[Token]:
+        """Walk the list (reads are plain loads; links are immutable)."""
+        token = self._head.peek()
+        while token is not None:
+            yield token
+            token = token._alloc_next

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the simulated PGAS runtime, the memory substrate, or
+the non-blocking building blocks derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the precise failure mode.
+
+The memory-safety errors (:class:`UseAfterFreeError`,
+:class:`DoubleFreeError`, :class:`InvalidAddressError`) are load-bearing for
+the reproduction: the whole point of Epoch-Based Reclamation is that these
+are *never* raised when a structure is protected by an
+:class:`~repro.core.epoch_manager.EpochManager`, and the test suite asserts
+both directions (naive reclamation raises them under contention; EBR does
+not).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RuntimeStateError",
+    "NoTaskContextError",
+    "LocaleError",
+    "MemoryError_",
+    "InvalidAddressError",
+    "UseAfterFreeError",
+    "DoubleFreeError",
+    "HeapExhaustedError",
+    "CompressionError",
+    "TooManyLocalesError",
+    "TokenStateError",
+    "EpochManagerError",
+    "StructureError",
+    "EmptyStructureError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RuntimeStateError(ReproError):
+    """The simulated runtime was used in an invalid state.
+
+    Examples: spawning tasks on a runtime that has been shut down, nesting
+    two distinct runtimes on the same thread, or re-entering a one-shot
+    timer region.
+    """
+
+
+class NoTaskContextError(RuntimeStateError):
+    """An operation that requires a task context ran outside any task.
+
+    All PGAS operations (remote atomics, GETs/PUTs, ``on`` blocks) charge
+    virtual time to the *current task's* clock, so they must run inside a
+    task spawned by :class:`~repro.runtime.runtime.Runtime` (or inside the
+    implicit main task created by :meth:`Runtime.main_task`).
+    """
+
+
+class LocaleError(ReproError):
+    """A locale id was out of range or otherwise invalid."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-heap failures.
+
+    Named with a trailing underscore to avoid shadowing the Python builtin
+    :class:`MemoryError`.
+    """
+
+
+class InvalidAddressError(MemoryError_):
+    """A global address did not name an allocated object on its locale."""
+
+
+class UseAfterFreeError(MemoryError_):
+    """An object was accessed through an address that has been freed.
+
+    The simulated heap tracks liveness per allocation precisely so this
+    hazard — which on real hardware is silent data corruption — becomes a
+    deterministic, testable failure.
+    """
+
+
+class DoubleFreeError(MemoryError_):
+    """An address was freed twice without an intervening allocation."""
+
+
+class HeapExhaustedError(MemoryError_):
+    """A locale heap ran out of 48-bit address space (practically unreachable)."""
+
+
+class CompressionError(ReproError):
+    """A wide pointer could not be pointer-compressed into 64 bits."""
+
+
+class TooManyLocalesError(CompressionError):
+    """Pointer compression requires fewer than 2**16 locales.
+
+    Mirrors the paper's constraint: 16 bits of locality information are
+    packed into the upper bits of a 48-bit-addressed 64-bit pointer. The
+    library falls back to DCAS (or the descriptor table extension) when this
+    is raised.
+    """
+
+
+class TokenStateError(ReproError):
+    """An EBR token was used in an invalid state.
+
+    Examples: pinning an unregistered token, unregistering twice, or
+    deferring a deletion through an unpinned token.
+    """
+
+
+class EpochManagerError(ReproError):
+    """Generic misuse of the epoch manager (e.g. after ``destroy()``)."""
+
+
+class StructureError(ReproError):
+    """Base class for errors raised by the provided data structures."""
+
+
+class EmptyStructureError(StructureError):
+    """A destructive read (pop/dequeue) was attempted on an empty structure."""

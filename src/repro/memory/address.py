@@ -1,0 +1,48 @@
+"""Wide pointers: the 128-bit (locale, virtual address) pair.
+
+Chapel represents a class instance reference as a *widened pointer*: 64 bits
+of virtual address plus 64 bits of locality information.  This module
+provides that representation (:class:`GlobalAddress`) along with the ``nil``
+sentinel.  The companion :mod:`repro.memory.compression` module packs a wide
+pointer into a single 64-bit word when possible.
+
+Addresses are value objects — hashable, comparable, immutable — so they can
+be stored in atomics, sets and dicts freely.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["GlobalAddress", "NIL", "is_nil"]
+
+
+class GlobalAddress(NamedTuple):
+    """A wide pointer: which locale an object lives on and where.
+
+    ``offset`` is the 48-bit virtual address within that locale's simulated
+    heap.  ``GlobalAddress(0, 0)`` is reserved as ``nil`` (heaps never hand
+    out offset 0; see :class:`~repro.memory.heap.Heap`).
+    """
+
+    locale: int
+    offset: int
+
+    @property
+    def is_nil(self) -> bool:
+        """True for the null wide pointer."""
+        return self.offset == 0
+
+    def __repr__(self) -> str:
+        if self.is_nil:
+            return "GlobalAddress(nil)"
+        return f"GlobalAddress(locale={self.locale}, offset={self.offset:#x})"
+
+
+#: The null wide pointer. Compresses to integer 0.
+NIL = GlobalAddress(0, 0)
+
+
+def is_nil(addr: "GlobalAddress | None") -> bool:
+    """True when ``addr`` is ``None`` or the nil wide pointer."""
+    return addr is None or addr.offset == 0

@@ -1,0 +1,246 @@
+"""Per-locale simulated heaps with precise liveness tracking.
+
+Each locale owns a :class:`Heap` that hands out 48-bit virtual addresses
+for Python payload objects.  Two properties matter for the reproduction:
+
+* **LIFO address reuse.**  Freed addresses go on a free list and the *most
+  recently freed* address is reused first — exactly the allocator behaviour
+  that makes the ABA problem real.  The test suite exploits this to make a
+  compare-and-swap succeed wrongly on a recycled address, and to show the
+  ``ABA`` wrapper / EBR preventing it.
+
+* **Precise hazard detection.**  Every slot remembers whether it is live
+  and how many times its address has been recycled (its *generation*).
+  Loading through a stale address raises
+  :class:`~repro.errors.UseAfterFreeError`; freeing twice raises
+  :class:`~repro.errors.DoubleFreeError`.  On real hardware these are
+  silent corruption; here they are deterministic test signals, which is
+  how we *prove* the EpochManager makes reclamation safe.
+
+The heap is purely mechanical — it charges no virtual time.  Cost accounting
+lives in :class:`~repro.comm.network.NetworkModel` and is applied by the
+runtime's allocation helpers, keeping policy and mechanism separate.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import (
+    DoubleFreeError,
+    HeapExhaustedError,
+    InvalidAddressError,
+    UseAfterFreeError,
+)
+from .address import GlobalAddress
+from .compression import ADDRESS_MASK
+
+__all__ = ["Heap", "HeapStats"]
+
+
+@dataclass
+class HeapStats:
+    """Counters describing one heap's allocation history."""
+
+    #: Allocations ever performed.
+    allocations: int = 0
+    #: Frees ever performed.
+    frees: int = 0
+    #: Addresses handed out more than once (ABA fuel).
+    reuses: int = 0
+    #: Currently live objects.
+    live: int = 0
+    #: High-water mark of live objects.
+    peak_live: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reports."""
+        return {
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "reuses": self.reuses,
+            "live": self.live,
+            "peak_live": self.peak_live,
+        }
+
+
+class _Slot:
+    """One allocation slot: payload, liveness, and recycle generation."""
+
+    __slots__ = ("payload", "live", "generation")
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+        self.live = True
+        #: Incremented every time the slot's address is re-allocated.
+        self.generation = 0
+
+
+class Heap:
+    """The simulated memory of one locale.
+
+    Parameters
+    ----------
+    locale_id:
+        Owning locale (recorded into issued :class:`GlobalAddress`es).
+    base:
+        First address handed out; must be nonzero so ``nil`` (offset 0) can
+        never alias an allocation.
+    alignment:
+        Power-of-two allocation alignment.  Guarantees the low bits of every
+        address are zero, so data structures may steal them for tag bits
+        (the Harris list's deletion mark does).
+    """
+
+    def __init__(self, locale_id: int, *, base: int = 0x1000, alignment: int = 16) -> None:
+        if base <= 0:
+            raise ValueError("heap base must be positive (offset 0 is nil)")
+        if alignment < 2 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power of two >= 2")
+        self.locale_id = locale_id
+        self.alignment = alignment
+        self._lock = threading.Lock()
+        self._slots: Dict[int, _Slot] = {}
+        self._free: List[int] = []  # LIFO free list of offsets
+        self._next = ((base + alignment - 1) // alignment) * alignment
+        self.stats = HeapStats()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, payload: Any) -> GlobalAddress:
+        """Allocate a slot for ``payload`` and return its wide pointer.
+
+        Reuses the most recently freed address when one exists (LIFO), the
+        behaviour that maximizes ABA hazard — deliberately.
+        """
+        with self._lock:
+            if self._free:
+                offset = self._free.pop()
+                slot = self._slots[offset]
+                slot.payload = payload
+                slot.live = True
+                slot.generation += 1
+                self.stats.reuses += 1
+            else:
+                offset = self._next
+                self._next += self.alignment
+                if self._next > ADDRESS_MASK:
+                    raise HeapExhaustedError(
+                        f"locale {self.locale_id} heap exhausted 48-bit space"
+                    )
+                self._slots[offset] = _Slot(payload)
+            self.stats.allocations += 1
+            self.stats.live += 1
+            if self.stats.live > self.stats.peak_live:
+                self.stats.peak_live = self.stats.live
+            return GlobalAddress(self.locale_id, offset)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def _slot_checked(self, offset: int) -> _Slot:
+        slot = self._slots.get(offset)
+        if slot is None:
+            raise InvalidAddressError(
+                f"locale {self.locale_id}: {offset:#x} was never allocated"
+            )
+        if not slot.live:
+            raise UseAfterFreeError(
+                f"locale {self.locale_id}: use-after-free at {offset:#x}"
+            )
+        return slot
+
+    def load(self, offset: int) -> Any:
+        """Return the live payload at ``offset``.
+
+        Raises :class:`UseAfterFreeError` if the slot was freed — the
+        hazard EBR exists to prevent.
+        """
+        with self._lock:
+            return self._slot_checked(offset).payload
+
+    def store(self, offset: int, payload: Any) -> None:
+        """Replace the payload at a live ``offset`` (a remote PUT target)."""
+        with self._lock:
+            self._slot_checked(offset).payload = payload
+
+    def is_live(self, offset: int) -> bool:
+        """True when ``offset`` names a currently-allocated slot."""
+        with self._lock:
+            slot = self._slots.get(offset)
+            return bool(slot and slot.live)
+
+    def generation(self, offset: int) -> int:
+        """How many times this address has been recycled (0 = never).
+
+        Exposed for tests that must *witness* an ABA (same address, new
+        object) rather than infer it.
+        """
+        with self._lock:
+            slot = self._slots.get(offset)
+            if slot is None:
+                raise InvalidAddressError(
+                    f"locale {self.locale_id}: {offset:#x} was never allocated"
+                )
+            return slot.generation
+
+    # ------------------------------------------------------------------
+    # deallocation
+    # ------------------------------------------------------------------
+    def free(self, offset: int) -> None:
+        """Free the slot at ``offset``; its address becomes reusable.
+
+        Raises :class:`DoubleFreeError` on repeated frees of the same
+        allocation and :class:`InvalidAddressError` for unknown addresses.
+        """
+        with self._lock:
+            slot = self._slots.get(offset)
+            if slot is None:
+                raise InvalidAddressError(
+                    f"locale {self.locale_id}: free of unallocated {offset:#x}"
+                )
+            if not slot.live:
+                raise DoubleFreeError(
+                    f"locale {self.locale_id}: double free at {offset:#x}"
+                )
+            slot.live = False
+            slot.payload = None  # drop the reference; simulate destruction
+            self._free.append(offset)
+            self.stats.frees += 1
+            self.stats.live -= 1
+
+    def free_bulk(self, offsets: List[int]) -> int:
+        """Free many slots at once; returns how many were freed.
+
+        The scatter list in ``tryReclaim`` funnels every dead object owned
+        by this locale through one call, mirroring the paper's bulk
+        transfer-and-delete.
+        """
+        freed = 0
+        for off in offsets:
+            self.free(off)
+            freed += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_count(self) -> int:
+        """Number of live allocations."""
+        with self._lock:
+            return self.stats.live
+
+    def snapshot_stats(self) -> HeapStats:
+        """Copy of the stats counters (safe to keep across resets)."""
+        with self._lock:
+            return HeapStats(**self.stats.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Heap(locale={self.locale_id}, live={self.stats.live},"
+            f" allocs={self.stats.allocations}, frees={self.stats.frees})"
+        )

@@ -1,0 +1,113 @@
+"""Runtime configuration: locale count, network flavour, cost calibration.
+
+The two network flavours mirror the paper's experimental axis:
+
+* :attr:`NetworkType.UGNI` — ``CHPL_NETWORK_ATOMICS`` present (Cray
+  Gemini/Aries): 64-bit atomics are NIC-offloaded RDMA operations, remote
+  *and local* (NIC atomics are not coherent with CPU atomics, so local ops
+  pay the NIC trip too).
+* :attr:`NetworkType.NONE` — no network atomics (also approximates
+  InfiniBand under Chapel 1.20, which did not use IB RDMA atomics): local
+  atomics are plain CPU atomics; remote atomics and remote execution are
+  active messages serviced by the target's progress thread.
+
+``RuntimeConfig`` is deliberately small and immutable — a benchmark sweep
+constructs one runtime per point from a config and tears it down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..comm.costs import CostModel, DEFAULT_COSTS
+from ..errors import LocaleError
+
+__all__ = ["NetworkType", "RuntimeConfig"]
+
+
+class NetworkType(enum.Enum):
+    """Which atomic-operation transport the simulated interconnect offers."""
+
+    #: RDMA network atomics available (Cray Gemini/Aries; the paper's `ugni`).
+    UGNI = "ugni"
+    #: No network atomics; remote atomics become active messages (`none`).
+    NONE = "none"
+
+    @classmethod
+    def parse(cls, value: "NetworkType | str") -> "NetworkType":
+        """Accept either an enum member or its string name ("ugni"/"none")."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise ValueError(
+                f"unknown network type {value!r}; expected 'ugni' or 'none'"
+            ) from None
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Immutable description of one simulated machine.
+
+    Parameters
+    ----------
+    num_locales:
+        Number of simulated compute nodes (Chapel locales). Must be >= 1.
+    network:
+        Interconnect flavour; see :class:`NetworkType`.
+    costs:
+        Virtual-time calibration; defaults to
+        :data:`repro.comm.costs.DEFAULT_COSTS`.
+    tasks_per_locale:
+        Default number of worker tasks a ``forall`` spawns per locale.
+        (The paper's machine ran 44; the simulator defaults low because
+        each task is a real thread.)
+    seed:
+        Seed for all task-local RNGs; sweeps derive per-task seeds from it
+        deterministically.
+    heap_base:
+        First virtual address each per-locale heap hands out. Nonzero so
+        that the compressed representation of ``nil`` (0) can never collide
+        with a real allocation.
+    heap_alignment:
+        Allocation alignment in bytes. Must be a power of two >= 2; the low
+        ``log2(alignment)`` bits of every address are guaranteed zero, which
+        the Harris list uses for its logical-deletion mark bit.
+    """
+
+    num_locales: int = 4
+    network: NetworkType = NetworkType.UGNI
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    tasks_per_locale: int = 2
+    seed: int = 0xC0FFEE
+    heap_base: int = 0x1000
+    heap_alignment: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_locales < 1:
+            raise LocaleError(f"num_locales must be >= 1, got {self.num_locales}")
+        if self.tasks_per_locale < 1:
+            raise ValueError(
+                f"tasks_per_locale must be >= 1, got {self.tasks_per_locale}"
+            )
+        if self.heap_alignment < 2 or (
+            self.heap_alignment & (self.heap_alignment - 1)
+        ):
+            raise ValueError(
+                f"heap_alignment must be a power of two >= 2, got"
+                f" {self.heap_alignment}"
+            )
+        # Normalize string network names passed positionally.
+        object.__setattr__(self, "network", NetworkType.parse(self.network))
+
+    def with_(self, **overrides) -> "RuntimeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def uses_network_atomics(self) -> bool:
+        """True when 64-bit atomics ride the NIC (the `ugni` behaviour)."""
+        return self.network is NetworkType.UGNI

@@ -1,0 +1,101 @@
+"""Thread-local task context: who am I, where am I, what time is it.
+
+Every simulated task — including the implicit "main" task a benchmark runs
+in — owns a :class:`TaskContext` carrying its runtime, current locale, a
+virtual :class:`~repro.runtime.clock.TaskClock`, and a deterministic RNG.
+PGAS operations consult the current context to decide whether an access is
+local or remote and to charge virtual time.
+
+The context travels with the (real) thread that executes the task.  An
+``on`` block temporarily rebinds the context's locale, mirroring Chapel task
+migration without the expense of actually migrating a Python thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..errors import NoTaskContextError
+from .clock import TaskClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import Runtime
+
+__all__ = ["TaskContext", "current_context", "maybe_context", "context_scope"]
+
+_tls = threading.local()
+
+
+@dataclass
+class TaskContext:
+    """Identity and virtual state of one running task.
+
+    Attributes
+    ----------
+    runtime:
+        The owning :class:`~repro.runtime.runtime.Runtime`.
+    locale_id:
+        The locale the task is currently executing on (mutated by ``on``).
+    clock:
+        The task's virtual clock.
+    task_id:
+        Unique id within the runtime (diagnostics / deterministic seeding).
+    rng:
+        Task-private PRNG seeded from the runtime seed and ``task_id`` so
+        workloads are reproducible regardless of thread scheduling.
+    """
+
+    runtime: "Runtime"
+    locale_id: int
+    clock: TaskClock
+    task_id: int
+    rng: random.Random = field(default_factory=random.Random)
+
+    @property
+    def here(self) -> int:
+        """Chapel's ``here.id``: the locale this task is executing on."""
+        return self.locale_id
+
+    def is_local(self, locale_id: int) -> bool:
+        """True when ``locale_id`` is the task's current locale."""
+        return locale_id == self.locale_id
+
+
+def current_context() -> TaskContext:
+    """Return the current task's context, or raise :class:`NoTaskContextError`.
+
+    All network-charging operations call this; running library code outside
+    a task is a usage error with a precise, early failure.
+    """
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise NoTaskContextError(
+            "this operation must run inside a simulated task; wrap your code"
+            " in Runtime.run(...) or a forall/coforall body"
+        )
+    return ctx
+
+
+def maybe_context() -> Optional[TaskContext]:
+    """Return the current task's context or ``None`` (never raises)."""
+    return getattr(_tls, "ctx", None)
+
+
+@contextlib.contextmanager
+def context_scope(ctx: TaskContext) -> Iterator[TaskContext]:
+    """Install ``ctx`` as the current context for the ``with`` body.
+
+    Restores whatever context (possibly none) was previously installed, so
+    nested scopes — e.g. the runtime's internal helpers running inside a
+    user task — compose correctly.
+    """
+    prev = getattr(_tls, "ctx", None)
+    _tls.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _tls.ctx = prev

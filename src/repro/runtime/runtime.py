@@ -1,0 +1,472 @@
+"""The simulated PGAS runtime: locales, tasks, global memory, timers.
+
+:class:`Runtime` is the root object of the library.  It plays the role of
+the Chapel runtime in the paper: it owns the locales (each with a simulated
+heap), the network model (cost charging + diagnostics), and the tasking
+constructs (``on`` / ``coforall`` / ``forall``).  Everything else — atomics,
+``AtomicObject``, the epoch managers, the data structures — is built on the
+operations exposed here.
+
+A minimal session::
+
+    from repro import Runtime
+
+    rt = Runtime(num_locales=4, network="ugni")
+
+    def main():
+        counter = rt.atomic_int(locale=0)
+        def body(i):
+            counter.add(1)
+        rt.forall(range(1000), body)
+        assert counter.read() == 1000
+
+    rt.run(main)
+
+Design notes
+------------
+* ``run`` installs a root task context on the calling thread (locale 0,
+  virtual time 0) — all PGAS operations must happen inside it.
+* ``forall`` distributes items cyclically across locales by index (the
+  analogue of iterating a ``Cyclic``-distributed array), spawning
+  ``tasks_per_locale`` worker tasks per locale, and supports Chapel-style
+  task-private values via ``task_init`` (the ``with (var tok = ...)``
+  intent in the paper's Listing 5); a task-private value with a ``close()``
+  method is closed when the task ends, mirroring the managed token's
+  automatic unregister.
+* Virtual time: see :mod:`repro.runtime.clock`.  ``timed()`` measures the
+  current task's virtual elapsed time, which — because joins take the max
+  over children — equals the latest finish among tasks in the region.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..atomics.integer import AtomicBool, AtomicInt64, AtomicUInt64
+from ..atomics.wide import AtomicWide128
+from ..errors import LocaleError, NoTaskContextError, RuntimeStateError
+from ..memory.address import NIL, GlobalAddress, is_nil
+from ..memory.heap import Heap
+from .clock import TaskClock
+from .config import NetworkType, RuntimeConfig
+from .context import TaskContext, context_scope, current_context, maybe_context
+from .tasking import TaskGroup, spawn_tree_overhead
+
+T = TypeVar("T")
+
+__all__ = ["Locale", "Runtime", "Timer"]
+
+
+class Locale:
+    """One simulated compute node: an id, a name, and a heap."""
+
+    __slots__ = ("id", "name", "heap")
+
+    def __init__(self, locale_id: int, config: RuntimeConfig) -> None:
+        self.id = locale_id
+        self.name = f"locale{locale_id}"
+        self.heap = Heap(
+            locale_id, base=config.heap_base, alignment=config.heap_alignment
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Locale(id={self.id})"
+
+
+class Timer:
+    """Result holder for :meth:`Runtime.timed` regions."""
+
+    __slots__ = ("elapsed", "start")
+
+    def __init__(self) -> None:
+        #: Virtual seconds elapsed in the region (filled at scope exit).
+        self.elapsed = 0.0
+        #: Virtual start time of the region.
+        self.start = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timer(elapsed={self.elapsed:.9f})"
+
+
+class Runtime:
+    """A simulated PGAS machine (see module docstring for an overview)."""
+
+    def __init__(
+        self,
+        num_locales: int = 4,
+        network: "NetworkType | str" = NetworkType.UGNI,
+        *,
+        costs=None,
+        tasks_per_locale: int = 2,
+        seed: int = 0xC0FFEE,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        if config is None:
+            kwargs: Dict[str, Any] = dict(
+                num_locales=num_locales,
+                network=NetworkType.parse(network),
+                tasks_per_locale=tasks_per_locale,
+                seed=seed,
+            )
+            if costs is not None:
+                kwargs["costs"] = costs
+            config = RuntimeConfig(**kwargs)
+        # Imported here (not at module top) to break the package import
+        # cycle runtime.runtime -> comm.network -> runtime.clock.
+        from ..comm.network import NetworkModel
+
+        #: Immutable machine description.
+        self.config = config
+        #: The cost/diagnostics engine shared by every operation.
+        self.network = NetworkModel(config)
+        #: The simulated nodes.
+        self.locales: List[Locale] = [
+            Locale(i, config) for i in range(config.num_locales)
+        ]
+        self._task_ids = itertools.count(1)
+        self._task_id_lock = threading.Lock()
+        self._privatized: List[Any] = []
+        self._privatized_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_locales(self) -> int:
+        """Number of simulated locales."""
+        return self.config.num_locales
+
+    def locale(self, locale_id: int) -> Locale:
+        """Return the :class:`Locale` with the given id (validated)."""
+        if not (0 <= locale_id < self.num_locales):
+            raise LocaleError(
+                f"locale {locale_id} out of range [0, {self.num_locales})"
+            )
+        return self.locales[locale_id]
+
+    def here(self) -> int:
+        """Chapel's ``here.id``: the current task's locale."""
+        return current_context().locale_id
+
+    def _next_task_id(self) -> int:
+        with self._task_id_lock:
+            return next(self._task_ids)
+
+    # ------------------------------------------------------------------
+    # privatization registry (Chapel's privatized-object table)
+    # ------------------------------------------------------------------
+    def register_privatized(self, instances: Sequence[Any]) -> int:
+        """Register one instance per locale; return the privatization id.
+
+        The record-wrapped handle stores only this id, so resolving the
+        local instance (:meth:`privatized_instance`) costs nothing — the
+        zero-communication fast path the paper attributes its scalability
+        to.
+        """
+        if len(instances) != self.num_locales:
+            raise LocaleError(
+                f"need exactly {self.num_locales} privatized instances,"
+                f" got {len(instances)}"
+            )
+        with self._privatized_lock:
+            pid = len(self._privatized)
+            self._privatized.append(list(instances))
+            return pid
+
+    def privatized_instance(self, pid: int, locale_id: Optional[int] = None) -> Any:
+        """Resolve the privatized instance for ``locale_id`` (default: here).
+
+        Deliberately charges no virtual time: the whole point of
+        privatization + record-wrapping is that this lookup is a local
+        table access.
+        """
+        if locale_id is None:
+            locale_id = current_context().locale_id
+        return self._privatized[pid][locale_id]
+
+    def drop_privatized(self, pid: int) -> None:
+        """Release the per-locale instances for a destroyed object."""
+        with self._privatized_lock:
+            self._privatized[pid] = None
+
+    # ------------------------------------------------------------------
+    # atomics factories
+    # ------------------------------------------------------------------
+    def atomic_uint(self, initial: int = 0, *, locale: int = 0, name: str = "") -> AtomicUInt64:
+        """Create an unsigned 64-bit atomic living on ``locale``."""
+        self.locale(locale)
+        return AtomicUInt64(self, locale, initial, name)
+
+    def atomic_int(self, initial: int = 0, *, locale: int = 0, name: str = "") -> AtomicInt64:
+        """Create a signed 64-bit atomic (Chapel ``atomic int``)."""
+        self.locale(locale)
+        return AtomicInt64(self, locale, initial, name)
+
+    def atomic_bool(self, initial: bool = False, *, locale: int = 0, name: str = "") -> AtomicBool:
+        """Create an atomic boolean flag living on ``locale``."""
+        self.locale(locale)
+        return AtomicBool(self, locale, initial, name)
+
+    def atomic_wide(
+        self, initial: Tuple[int, int] = (0, 0), *, locale: int = 0, name: str = ""
+    ) -> AtomicWide128:
+        """Create a 128-bit double-word atomic (DCAS target)."""
+        self.locale(locale)
+        return AtomicWide128(self, locale, initial, name)
+
+    # ------------------------------------------------------------------
+    # global memory operations
+    # ------------------------------------------------------------------
+    def new_obj(self, payload: Any, *, locale: Optional[int] = None) -> GlobalAddress:
+        """Allocate ``payload`` on ``locale`` (default: here); return address.
+
+        Remote allocation costs an RPC, as in any PGAS runtime — node-based
+        structures therefore allocate locally and publish with an atomic.
+        """
+        ctx = maybe_context()
+        if locale is None:
+            if ctx is None:
+                raise NoTaskContextError(
+                    "new_obj without an explicit locale requires a task context"
+                )
+            locale = ctx.locale_id
+        heap = self.locale(locale).heap
+        if ctx is not None:
+            self.network.alloc(ctx, locale)
+        return heap.alloc(payload)
+
+    def deref(self, addr: GlobalAddress) -> Any:
+        """Load the object a wide pointer names (a GET when remote).
+
+        The returned Python object is the *node itself* (one simulated
+        cache-line fetch); subsequent field accesses on it are free, like
+        reading a struct already copied to local memory.
+        """
+        if is_nil(addr):
+            raise LocaleError("deref of nil GlobalAddress")
+        ctx = maybe_context()
+        if ctx is not None:
+            self.network.read(ctx, addr.locale, nbytes=64)
+        return self.locale(addr.locale).heap.load(addr.offset)
+
+    def put(self, addr: GlobalAddress, payload: Any) -> None:
+        """Replace the object at ``addr`` (a PUT when remote)."""
+        if is_nil(addr):
+            raise LocaleError("put to nil GlobalAddress")
+        ctx = maybe_context()
+        if ctx is not None:
+            self.network.write(ctx, addr.locale, nbytes=64)
+        self.locale(addr.locale).heap.store(addr.offset, payload)
+
+    def free(self, addr: GlobalAddress) -> None:
+        """Free the allocation at ``addr`` (remote free = RPC)."""
+        if is_nil(addr):
+            raise LocaleError("free of nil GlobalAddress")
+        ctx = maybe_context()
+        if ctx is not None:
+            self.network.free(ctx, addr.locale)
+        self.locale(addr.locale).heap.free(addr.offset)
+
+    def free_bulk(self, locale_id: int, offsets: Sequence[int]) -> int:
+        """Free many allocations on one locale as a single batch.
+
+        This is what the scatter list feeds: one RPC + amortized per-object
+        cost instead of one RPC per object.
+        """
+        offs = list(offsets)
+        ctx = maybe_context()
+        if ctx is not None:
+            self.network.bulk_free(ctx, locale_id, len(offs))
+        return self.locale(locale_id).heap.free_bulk(offs)
+
+    def is_live(self, addr: GlobalAddress) -> bool:
+        """Liveness check (no cost; testing / assertions)."""
+        if is_nil(addr):
+            return False
+        return self.locale(addr.locale).heap.is_live(addr.offset)
+
+    # ------------------------------------------------------------------
+    # execution constructs
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[..., T], *args: Any, locale: int = 0) -> T:
+        """Execute ``fn(*args)`` as the root task (virtual time 0).
+
+        The analogue of Chapel's ``main`` — every example, test and
+        benchmark enters simulated execution through here.
+        """
+        if maybe_context() is not None:
+            raise RuntimeStateError("Runtime.run cannot be nested inside a task")
+        ctx = TaskContext(
+            runtime=self,
+            locale_id=self.locale(locale).id,
+            clock=TaskClock(0.0),
+            task_id=self._next_task_id(),
+        )
+        ctx.rng.seed(self.config.seed)
+        with context_scope(ctx):
+            return fn(*args)
+
+    @contextlib.contextmanager
+    def on(self, locale_id: int) -> Iterator[Locale]:
+        """Chapel's ``on Locales[i]``: execute the body on another locale.
+
+        Charges a remote fork on entry and the return message on exit; the
+        body runs with ``here`` rebound.  No real thread migration happens
+        (costs are what matter).
+        """
+        target = self.locale(locale_id)
+        ctx = current_context()
+        origin = ctx.locale_id
+        self.network.remote_fork(ctx, target.id)
+        ctx.locale_id = target.id
+        try:
+            yield target
+        finally:
+            self.network.remote_return(ctx, origin)
+            ctx.locale_id = origin
+
+    def coforall_locales(
+        self,
+        body: Callable[[int], None],
+        *,
+        locales: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Run ``body(locale_id)`` as one task per locale; block until done.
+
+        The parent's virtual clock advances to the slowest child plus the
+        join cost — the paper's global scans (Listing 4) are built from
+        exactly this construct.
+        """
+        ctx = current_context()
+        ids = list(range(self.num_locales)) if locales is None else list(locales)
+        costs = self.config.costs
+        overhead = spawn_tree_overhead(len(ids), costs.task_spawn_remote)
+        group = TaskGroup(self)
+        for lid in ids:
+            self.locale(lid)
+            if lid != ctx.locale_id:
+                self.network.diags.record(ctx.locale_id, "fork")
+            group.spawn(body, (lid,), locale_id=lid, start_time=ctx.clock.now + overhead)
+        finish = group.join()
+        ctx.clock.advance_to(finish)
+        ctx.clock.advance(costs.task_join)
+
+    def forall(
+        self,
+        items: Iterable[T],
+        body: Callable[..., None],
+        *,
+        task_init: Optional[Callable[[], Any]] = None,
+        tasks_per_locale: Optional[int] = None,
+        owner_of: Optional[Callable[[T, int], int]] = None,
+    ) -> None:
+        """Parallel loop over ``items`` distributed cyclically by index.
+
+        Parameters
+        ----------
+        items:
+            The iteration space (materialized once).
+        body:
+            Called as ``body(item)`` — or ``body(item, tls)`` when
+            ``task_init`` is given — on the locale that owns the item.
+        task_init:
+            Factory for a task-private value, created once per worker task
+            *on that task's locale* (the ``with (var tok = em.register())``
+            intent from the paper).  If the value has a ``close()`` method
+            it is invoked when the task finishes (automatic unregister).
+        tasks_per_locale:
+            Worker tasks per locale; defaults to the runtime config.
+        owner_of:
+            Optional override mapping ``(item, index) -> locale id``;
+            defaults to ``index % num_locales`` (a Cyclic distribution).
+        """
+        ctx = current_context()
+        data = list(items)
+        tpl = tasks_per_locale or self.config.tasks_per_locale
+        nloc = self.num_locales
+
+        per_locale: List[List[T]] = [[] for _ in range(nloc)]
+        for idx, item in enumerate(data):
+            owner = owner_of(item, idx) if owner_of else idx % nloc
+            per_locale[self.locale(owner).id].append(item)
+
+        costs = self.config.costs
+        total_tasks = sum(
+            min(tpl, len(chunk)) if chunk else 0 for chunk in per_locale
+        )
+        if total_tasks == 0:
+            return
+        overhead = spawn_tree_overhead(total_tasks, costs.task_spawn_remote)
+
+        def worker(my_items: List[T]) -> None:
+            tls = task_init() if task_init is not None else None
+            try:
+                if tls is None:
+                    for item in my_items:
+                        body(item)
+                else:
+                    for item in my_items:
+                        body(item, tls)
+            finally:
+                close = getattr(tls, "close", None)
+                if callable(close):
+                    close()
+
+        group = TaskGroup(self)
+        start = ctx.clock.now + overhead
+        for lid, chunk in enumerate(per_locale):
+            if not chunk:
+                continue
+            ntasks = min(tpl, len(chunk))
+            for w in range(ntasks):
+                group.spawn(
+                    worker, (chunk[w::ntasks],), locale_id=lid, start_time=start
+                )
+        finish = group.join()
+        ctx.clock.advance_to(finish)
+        ctx.clock.advance(costs.task_join)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def timed(self) -> Iterator[Timer]:
+        """Measure virtual elapsed time of the enclosed region.
+
+        Because joins absorb the slowest child, the reading equals "when
+        did the last task in the region finish" — the quantity the paper's
+        wall-clock plots show.
+        """
+        ctx = current_context()
+        timer = Timer()
+        timer.start = ctx.clock.now
+        yield timer
+        timer.elapsed = ctx.clock.now - timer.start
+
+    def reset_measurements(self) -> None:
+        """Zero network counters and service points (between bench trials)."""
+        self.network.reset_measurements()
+
+    def comm_totals(self) -> Dict[str, int]:
+        """Shortcut to the network diagnostics totals."""
+        return self.network.diags.totals()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Runtime(num_locales={self.num_locales},"
+            f" network={self.config.network.value})"
+        )

@@ -1,0 +1,117 @@
+"""Task groups: structured fork/join over real threads with virtual clocks.
+
+Chapel's ``coforall`` creates one task per iteration and blocks until all
+complete; ``forall`` creates a bounded number of worker tasks.  Both map
+here onto :class:`TaskGroup`: each simulated task is a real Python thread
+(so interleavings, CAS retries, and races are genuine) carrying a
+:class:`~repro.runtime.clock.TaskClock` seeded from its parent.
+
+Virtual-time composition: children are seeded at
+``parent.now + fork_overhead`` where the overhead models a binomial spawn
+tree (``ceil(log2(n+1))`` rounds of spawning); at ``join`` the parent's
+clock jumps to the latest child finish time plus a join cost.  This is the
+rule that makes a timed ``forall`` report the *slowest* task — exactly what
+a wall-clock measurement on the real machine reports.
+
+Exception policy: the first exception raised by any child is re-raised in
+the parent at ``join`` (after all children have stopped), so test failures
+inside tasks surface as ordinary test failures.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from ..errors import RuntimeStateError
+from .clock import TaskClock
+from .context import TaskContext, context_scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import Runtime
+
+__all__ = ["TaskGroup", "spawn_tree_overhead"]
+
+
+def spawn_tree_overhead(n_tasks: int, per_spawn: float) -> float:
+    """Virtual cost of launching ``n_tasks`` via a binomial spawn tree.
+
+    A single task spawning ``n`` children serially would pay ``n *
+    per_spawn``; real runtimes fan out in a tree, paying ``ceil(log2(n+1))``
+    rounds.  We charge every child the full tree depth (a conservative,
+    uniform seed time).
+    """
+    if n_tasks <= 0:
+        return 0.0
+    return math.ceil(math.log2(n_tasks + 1)) * per_spawn
+
+
+class TaskGroup:
+    """A structured group of simulated tasks (one real thread each)."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self._rt = runtime
+        self._threads: List[threading.Thread] = []
+        self._clocks: List[TaskClock] = []
+        self._errors: List[BaseException] = []
+        self._errlock = threading.Lock()
+        self._joined = False
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        *,
+        locale_id: int,
+        start_time: float,
+    ) -> None:
+        """Launch ``fn(*args)`` as a task on ``locale_id`` at ``start_time``.
+
+        The task receives a fresh :class:`TaskContext`; its RNG is seeded
+        deterministically from the runtime seed and the task id so workload
+        randomness is reproducible run-to-run.
+        """
+        if self._joined:
+            raise RuntimeStateError("TaskGroup already joined")
+        clock = TaskClock(start_time)
+        self._clocks.append(clock)
+        task_id = self._rt._next_task_id()
+        ctx = TaskContext(
+            runtime=self._rt,
+            locale_id=locale_id,
+            clock=clock,
+            task_id=task_id,
+        )
+        ctx.rng.seed((self._rt.config.seed << 20) ^ task_id)
+
+        def _run() -> None:
+            try:
+                with context_scope(ctx):
+                    fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - forwarded at join
+                with self._errlock:
+                    self._errors.append(exc)
+
+        t = threading.Thread(target=_run, name=f"repro-task-{task_id}", daemon=True)
+        self._threads.append(t)
+        t.start()
+
+    def join(self) -> float:
+        """Block until all tasks finish; return the latest virtual finish.
+
+        Re-raises the first child exception, if any.
+        """
+        if self._joined:
+            raise RuntimeStateError("TaskGroup already joined")
+        self._joined = True
+        for t in self._threads:
+            t.join()
+        if self._errors:
+            raise self._errors[0]
+        return max((c.now for c in self._clocks), default=0.0)
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks spawned into this group."""
+        return len(self._threads)

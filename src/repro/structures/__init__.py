@@ -1,0 +1,30 @@
+"""Non-blocking data structures built on the paper's building blocks.
+
+* :class:`~repro.structures.treiber_stack.LockFreeStack` — Treiber stack
+  (paper Listing 1), ABA-protected head, EBR node retirement.
+* :class:`~repro.structures.msqueue.LockFreeQueue` — Michael–Scott FIFO
+  queue with helping.
+* :class:`~repro.structures.harris_list.LockFreeOrderedList` —
+  Harris/Michael sorted list with mark-bit logical deletion (the mark
+  rides inside the compressed pointer word).
+* :class:`~repro.structures.interlocked_hash_table.InterlockedHashTable` —
+  the paper's announced follow-on application: a distributed hash map with
+  wait-free reads (immutable buckets + ABA-CAS publication + EBR).
+"""
+
+from .harris_list import ListNode, LockFreeOrderedList
+from .interlocked_hash_table import InterlockedHashTable
+from .msqueue import LockFreeQueue, QueueNode
+from .rcu_array import RCUArray
+from .treiber_stack import LockFreeStack, StackNode
+
+__all__ = [
+    "LockFreeStack",
+    "StackNode",
+    "LockFreeQueue",
+    "QueueNode",
+    "LockFreeOrderedList",
+    "ListNode",
+    "InterlockedHashTable",
+    "RCUArray",
+]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Conventions:
+
+* ``rt`` — a small default machine (4 locales, ugni, 2 tasks/locale).
+* ``rt_none`` / ``rt_both`` — the no-network-atomics flavour / both.
+* ``run`` — helper executing a callable inside a root task
+  (``rt.run``), because every PGAS operation needs a task context.
+
+Tests that exercise genuine concurrency spawn real threads through the
+runtime's ``forall``/``coforall`` and assert invariants rather than
+schedules; sizes are kept small so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import NetworkType, Runtime
+
+
+@pytest.fixture
+def rt() -> Runtime:
+    """Default small machine: 4 locales, RDMA atomics."""
+    return Runtime(num_locales=4, network="ugni", tasks_per_locale=2)
+
+
+@pytest.fixture
+def rt_none() -> Runtime:
+    """4 locales without network atomics (remote atomics become AMs)."""
+    return Runtime(num_locales=4, network="none", tasks_per_locale=2)
+
+
+@pytest.fixture(params=["ugni", "none"])
+def rt_both(request) -> Runtime:
+    """Parametrized over both network flavours."""
+    return Runtime(num_locales=4, network=request.param, tasks_per_locale=2)
+
+
+@pytest.fixture
+def rt1() -> Runtime:
+    """Single-locale machine (shared-memory scenarios)."""
+    return Runtime(num_locales=1, network="none", tasks_per_locale=4)
+
+
+def run_in_task(rt: Runtime, fn, *args):
+    """Execute ``fn`` inside a root task context on locale 0."""
+    return rt.run(fn, *args)
+
+
+@pytest.fixture
+def run():
+    """The ``run(rt, fn)`` helper as a fixture."""
+    return run_in_task

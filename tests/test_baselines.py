@@ -1,0 +1,251 @@
+"""Tests for the lock-based baselines and the blocking reclaimer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines import (
+    GlobalLockReclaimer,
+    LockedMap,
+    LockedQueue,
+    LockedStack,
+    SpinLock,
+)
+from repro.errors import EmptyStructureError
+from repro.runtime import Runtime
+
+
+class TestSpinLock:
+    def test_mutual_exclusion(self, rt):
+        lock = SpinLock(rt)
+        counter = {"v": 0}
+
+        def body(i):
+            with lock:
+                v = counter["v"]
+                counter["v"] = v + 1
+
+        rt.run(lambda: rt.forall(range(300), body))
+        assert counter["v"] == 300
+
+    def test_acquire_release_counts(self, rt):
+        lock = SpinLock(rt)
+
+        def main():
+            for _ in range(5):
+                lock.acquire()
+                lock.release()
+
+        rt.run(main)
+        assert lock.acquisitions == 5
+        assert lock.attempts >= 5
+
+    def test_hold_time_serializes_in_virtual_time(self):
+        """Lock capacity bounds throughput regardless of task count."""
+        rt = Runtime(num_locales=1, network="none", tasks_per_locale=8)
+        lock = SpinLock(rt)
+        c = rt.config.costs
+
+        def main():
+            def body(i):
+                lock.acquire()
+                # Critical section: one simulated local atomic of work.
+                rt.atomic_int(0, locale=0).read()
+                lock.release()
+
+            with rt.timed() as t:
+                rt.forall(range(256), body, tasks_per_locale=8)
+            return t.elapsed
+
+        elapsed = rt.run(main)
+        # 256 critical sections of >= one atomic each must serialize.
+        assert elapsed >= 256 * c.cpu_atomic_latency
+
+    def test_remote_lock_costs_more(self):
+        rt = Runtime(num_locales=2, network="ugni")
+        local = SpinLock(rt, locale=0)
+        remote = SpinLock(rt, locale=1)
+
+        def cost(lock):
+            def main():
+                with rt.timed() as t:
+                    lock.acquire()
+                    lock.release()
+                return t.elapsed
+
+            return rt.run(main)
+
+        assert cost(remote) > cost(local)
+
+
+class TestLockedStack:
+    def test_lifo(self, rt):
+        def main():
+            st = LockedStack(rt)
+            for i in range(5):
+                st.push(i)
+            assert [st.pop() for _ in range(5)] == [4, 3, 2, 1, 0]
+
+        rt.run(main)
+
+    def test_empty_pop_raises(self, rt):
+        def main():
+            with pytest.raises(EmptyStructureError):
+                LockedStack(rt).pop()
+            assert LockedStack(rt).try_pop() is None
+
+        rt.run(main)
+
+    def test_peek_len(self, rt):
+        def main():
+            st = LockedStack(rt)
+            assert st.peek() is None
+            st.push("x")
+            assert st.peek() == "x"
+            assert len(st) == 1
+
+        rt.run(main)
+
+    def test_concurrent_conservation(self, rt):
+        def main():
+            st = LockedStack(rt)
+            rt.forall(range(200), st.push)
+            popped = []
+            lock = threading.Lock()
+
+            def popper(i):
+                v = st.try_pop()
+                if v is not None:
+                    with lock:
+                        popped.append(v)
+
+            rt.forall(range(200), popper)
+            assert sorted(popped) == list(range(200))
+
+        rt.run(main)
+
+
+class TestLockedQueue:
+    def test_fifo(self, rt):
+        def main():
+            q = LockedQueue(rt)
+            for i in range(5):
+                q.enqueue(i)
+            assert [q.dequeue() for _ in range(5)] == list(range(5))
+
+        rt.run(main)
+
+    def test_empty_dequeue(self, rt):
+        def main():
+            with pytest.raises(EmptyStructureError):
+                LockedQueue(rt).dequeue()
+            assert LockedQueue(rt).try_dequeue() is None
+
+        rt.run(main)
+
+    def test_len(self, rt):
+        def main():
+            q = LockedQueue(rt)
+            q.enqueue(1)
+            q.enqueue(2)
+            assert len(q) == 2
+
+        rt.run(main)
+
+
+class TestLockedMap:
+    def test_crud(self, rt):
+        def main():
+            m = LockedMap(rt)
+            assert m.put("a", 1)
+            assert not m.put("a", 2)
+            assert m.get("a") == 2
+            assert m.contains("a")
+            assert m.remove("a")
+            assert not m.remove("a")
+            assert m.get("a", "dflt") == "dflt"
+
+        rt.run(main)
+
+    def test_update_and_items(self, rt):
+        def main():
+            m = LockedMap(rt)
+            assert m.update("n", lambda v: v + 5, default=0) == 5
+            m.put("x", 1)
+            assert dict(m.items()) == {"n": 5, "x": 1}
+            assert len(m) == 2
+
+        rt.run(main)
+
+    def test_concurrent_updates_are_atomic(self, rt):
+        def main():
+            m = LockedMap(rt)
+
+            def body(i):
+                m.update("c", lambda v: v + 1, default=0)
+
+            rt.forall(range(300), body)
+            return m.get("c")
+
+        assert rt.run(main) == 300
+
+
+class TestGlobalLockReclaimer:
+    def test_guard_interface_matches_tokens(self, rt):
+        def main():
+            glr = GlobalLockReclaimer(rt)
+            guard = glr.register()
+            guard.pin()
+            addr = rt.new_obj("x")
+            guard.defer_delete(addr)
+            guard.unpin()
+            assert guard.try_reclaim()
+            assert not rt.is_live(addr)
+            guard.unregister()
+
+        rt.run(main)
+
+    def test_reclaim_blocked_by_active_reader(self, rt):
+        def main():
+            glr = GlobalLockReclaimer(rt, spin_limit=4)
+            g1, g2 = glr.register(), glr.register()
+            g1.pin()
+            addr = rt.new_obj("x")
+            g2.defer_delete(addr)
+            assert not g2.try_reclaim()  # blocked: a reader is active
+            assert rt.is_live(addr)
+            g1.unpin()
+            assert g2.try_reclaim()
+            assert not rt.is_live(addr)
+
+        rt.run(main)
+
+    def test_clear_ignores_readers(self, rt):
+        def main():
+            glr = GlobalLockReclaimer(rt)
+            g = glr.register()
+            g.pin()
+            addr = rt.new_obj("x")
+            g.defer_delete(addr)
+            assert glr.clear() == 1
+            assert not rt.is_live(addr)
+            g.unpin()
+
+        rt.run(main)
+
+    def test_pin_costs_grow_remote(self):
+        """Every pin is a remote atomic: the design flaw being ablated."""
+        rt = Runtime(num_locales=4, network="ugni")
+        glr = GlobalLockReclaimer(rt, home=0)
+
+        def main():
+            g = glr.register()
+            with rt.on(3):
+                rt.reset_measurements()
+                g.pin()
+                g.unpin()
+            return rt.comm_totals()["amo"]
+
+        assert rt.run(main) == 2  # one remote AMO per pin and unpin

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs clean and prints its checks.
+
+Examples are part of the public contract (they appear in the README), so
+CI runs each one as a subprocess and asserts both the exit status and the
+presence of the self-verification lines it is supposed to print.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    """Execute one example; returns stdout (fails the test on non-zero)."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\nstdout:\n{proc.stdout}\n"
+        f"stderr:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "atomic counter: 1000" in out
+    assert "live objects after clear: 1" in out
+    assert "comm totals" in out
+
+
+def test_aba_demonstration():
+    out = run_example("aba_demonstration.py")
+    assert "plain CAS succeeded against the wrong node (ABA!)" in out
+    assert "ABA defeated by the 64-bit adjacent counter" in out
+    assert "ABA prevented by deferring the reclamation" in out
+
+
+def test_producer_consumer_queue():
+    out = run_example("producer_consumer_queue.py")
+    assert "lock-free:" in out
+    assert "locked:" in out
+    assert "speedup:" in out
+
+
+def test_distributed_word_count():
+    out = run_example("distributed_word_count.py")
+    assert "words counted correctly" in out
+    assert "bucket owner" in out
+
+
+def test_privatization_diagnostics():
+    out = run_example("privatization_diagnostics.py")
+    assert "remote ops = 0" in out
+    assert "privatized GETs = 0" in out

@@ -1,0 +1,260 @@
+"""Coverage for the supporting infrastructure: errors, context, tasking,
+diagnostics, privatization helpers, and the huge-machine fallback."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro.errors import (
+    CompressionError,
+    DoubleFreeError,
+    EmptyStructureError,
+    EpochManagerError,
+    HeapExhaustedError,
+    InvalidAddressError,
+    LocaleError,
+    MemoryError_,
+    NoTaskContextError,
+    ReproError,
+    RuntimeStateError,
+    StructureError,
+    TokenStateError,
+    TooManyLocalesError,
+    UseAfterFreeError,
+)
+from repro.runtime import Runtime, TaskClock
+from repro.runtime.context import TaskContext, context_scope, current_context, maybe_context
+from repro.runtime.tasking import TaskGroup, spawn_tree_overhead
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc in (
+            RuntimeStateError,
+            NoTaskContextError,
+            LocaleError,
+            MemoryError_,
+            InvalidAddressError,
+            UseAfterFreeError,
+            DoubleFreeError,
+            HeapExhaustedError,
+            CompressionError,
+            TooManyLocalesError,
+            TokenStateError,
+            EpochManagerError,
+            StructureError,
+            EmptyStructureError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_memory_errors_group(self):
+        assert issubclass(UseAfterFreeError, MemoryError_)
+        assert issubclass(DoubleFreeError, MemoryError_)
+        assert issubclass(InvalidAddressError, MemoryError_)
+
+    def test_too_many_locales_is_a_compression_error(self):
+        assert issubclass(TooManyLocalesError, CompressionError)
+
+    def test_no_task_context_is_a_runtime_state_error(self):
+        assert issubclass(NoTaskContextError, RuntimeStateError)
+
+    def test_public_reexports(self):
+        assert repro.UseAfterFreeError is UseAfterFreeError
+        assert repro.ReproError is ReproError
+
+
+class TestContextScope:
+    def test_scope_installs_and_restores(self, rt):
+        assert maybe_context() is None
+        ctx = TaskContext(runtime=rt, locale_id=1, clock=TaskClock(), task_id=99)
+        with context_scope(ctx):
+            assert current_context() is ctx
+        assert maybe_context() is None
+
+    def test_scopes_nest(self, rt):
+        c1 = TaskContext(runtime=rt, locale_id=0, clock=TaskClock(), task_id=1)
+        c2 = TaskContext(runtime=rt, locale_id=1, clock=TaskClock(), task_id=2)
+        with context_scope(c1):
+            with context_scope(c2):
+                assert current_context() is c2
+            assert current_context() is c1
+
+    def test_scope_restores_after_exception(self, rt):
+        ctx = TaskContext(runtime=rt, locale_id=0, clock=TaskClock(), task_id=1)
+        with pytest.raises(ValueError):
+            with context_scope(ctx):
+                raise ValueError
+        assert maybe_context() is None
+
+    def test_current_context_raises_outside(self):
+        with pytest.raises(NoTaskContextError):
+            current_context()
+
+    def test_context_is_thread_local(self, rt):
+        ctx = TaskContext(runtime=rt, locale_id=0, clock=TaskClock(), task_id=1)
+        other_thread_sees = []
+
+        def probe():
+            other_thread_sees.append(maybe_context())
+
+        with context_scope(ctx):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert other_thread_sees == [None]
+
+
+class TestTaskGroup:
+    def test_spawn_tree_overhead_is_logarithmic(self):
+        assert spawn_tree_overhead(0, 1.0) == 0.0
+        assert spawn_tree_overhead(1, 1.0) == 1.0
+        assert spawn_tree_overhead(7, 1.0) == 3.0
+        assert spawn_tree_overhead(8, 1.0) == 4.0
+
+    def test_join_returns_latest_finish(self, rt):
+        group = TaskGroup(rt)
+
+        def work():
+            current_context().clock.advance(5.0)
+
+        group.spawn(work, (), locale_id=0, start_time=1.0)
+        group.spawn(lambda: None, (), locale_id=1, start_time=2.0)
+        assert group.join() == 6.0
+
+    def test_double_join_rejected(self, rt):
+        group = TaskGroup(rt)
+        group.spawn(lambda: None, (), locale_id=0, start_time=0.0)
+        group.join()
+        with pytest.raises(RuntimeStateError):
+            group.join()
+
+    def test_spawn_after_join_rejected(self, rt):
+        group = TaskGroup(rt)
+        group.join()
+        with pytest.raises(RuntimeStateError):
+            group.spawn(lambda: None, (), locale_id=0, start_time=0.0)
+
+    def test_child_exception_surfaces_at_join(self, rt):
+        group = TaskGroup(rt)
+
+        def boom():
+            raise KeyError("child")
+
+        group.spawn(boom, (), locale_id=0, start_time=0.0)
+        with pytest.raises(KeyError):
+            group.join()
+
+    def test_task_rngs_differ_between_tasks(self, rt):
+        draws = []
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                draws.append(current_context().rng.random())
+
+        group = TaskGroup(rt)
+        for _ in range(4):
+            group.spawn(work, (), locale_id=0, start_time=0.0)
+        group.join()
+        assert len(set(draws)) == 4
+
+
+class TestDiagnosticsSnapshot:
+    def test_imbalance_detects_hot_locale(self):
+        rt = Runtime(num_locales=4, network="none")
+
+        def main():
+            # Flood locale 0's progress thread with remote atomics.
+            hot = rt.atomic_int(0, locale=0)
+            with rt.on(2):
+                for _ in range(50):
+                    hot.read()
+
+        rt.run(main)
+        from repro.runtime import snapshot
+
+        snap = snapshot(rt)
+        assert snap.hottest_progress_locale == 0
+        assert snap.imbalance() > 1.5
+
+    def test_total_live_objects(self, rt):
+        def main():
+            rt.new_obj("a", locale=1)
+            rt.new_obj("b", locale=2)
+
+        rt.run(main)
+        from repro.runtime import snapshot
+
+        assert snapshot(rt).total_live_objects == 2
+
+
+class TestCommDiagnosticsControl:
+    def test_stop_start_gates_recording(self):
+        rt = Runtime(num_locales=2, network="ugni")
+        cell = rt.atomic_int(0, locale=1)
+
+        def main():
+            rt.network.diags.stop()
+            cell.read()
+            rt.network.diags.start()
+            cell.read()
+
+        rt.run(main)
+        assert rt.comm_totals()["amo"] == 1
+
+    def test_iter_nonzero(self):
+        rt = Runtime(num_locales=2, network="ugni")
+
+        def main():
+            rt.atomic_int(0, locale=1).read()
+
+        rt.run(main)
+        entries = list(rt.network.diags.iter_nonzero())
+        assert (0, "amo", 1) in entries
+
+    def test_per_locale_attribution(self):
+        rt = Runtime(num_locales=3, network="ugni")
+        cell = rt.atomic_int(0, locale=0)
+
+        def main():
+            with rt.on(2):
+                cell.read()  # initiated by locale 2
+
+        rt.run(main)
+        per = rt.network.diags.per_locale()
+        assert per[2]["amo"] == 1
+        assert per[0]["amo"] == 0
+
+
+class TestHugeMachineFallback:
+    def test_auto_mode_switches_to_dcas_at_2_16_locales(self):
+        """The paper's threshold: >= 2**16 locales preclude compression."""
+        rt = Runtime(num_locales=1 << 16, network="ugni")
+        from repro.core import AtomicObject
+
+        obj = AtomicObject(rt)
+        assert obj.mode == "dcas"
+        # And compressed mode refuses outright.
+        with pytest.raises(LocaleError):
+            AtomicObject(rt, mode="compressed")
+
+    def test_descriptor_mode_keeps_64_bit_words_at_any_scale(self):
+        rt = Runtime(num_locales=1 << 16, network="ugni")
+        from repro.core import AtomicObject
+
+        obj = AtomicObject(rt, mode="descriptor")
+        a = rt.locale(65535).heap.alloc("far away")
+        obj.write(a)
+        assert obj.peek() == a
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

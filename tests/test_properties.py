@@ -1,0 +1,313 @@
+"""Property-based tests (hypothesis) for the core data-plane invariants.
+
+These cover the algebraic substrate — the things every higher layer leans
+on silently: pointer compression is a bijection, the heap is an exact
+allocator, atomics implement modular 64-bit arithmetic, and the wait-free
+limbo list is a permutation-preserving buffer.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import (
+    ADDRESS_MASK,
+    MAX_COMPRESSIBLE_LOCALES,
+    GlobalAddress,
+    Heap,
+    compress,
+    decompress,
+)
+from repro.runtime import Runtime
+
+# Offsets are nonzero (0 is nil) and 48-bit bounded.
+offsets = st.integers(min_value=1, max_value=ADDRESS_MASK)
+locales = st.integers(min_value=0, max_value=MAX_COMPRESSIBLE_LOCALES - 1)
+words64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+ints64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+def _rt() -> Runtime:
+    return Runtime(num_locales=1, network="none")
+
+
+class TestCompressionProperties:
+    @given(locale=locales, offset=offsets)
+    def test_compress_roundtrips(self, locale, offset):
+        a = GlobalAddress(locale, offset)
+        assert decompress(compress(a)) == a
+
+    @given(locale=locales, offset=offsets)
+    def test_compressed_word_fits_64_bits(self, locale, offset):
+        word = compress(GlobalAddress(locale, offset))
+        assert 0 <= word < (1 << 64)
+
+    @given(
+        a1=st.tuples(locales, offsets),
+        a2=st.tuples(locales, offsets),
+    )
+    def test_compression_is_injective(self, a1, a2):
+        g1, g2 = GlobalAddress(*a1), GlobalAddress(*a2)
+        if g1 != g2:
+            assert compress(g1) != compress(g2)
+
+    @given(locale=locales, offset=offsets)
+    def test_nil_never_collides(self, locale, offset):
+        assert compress(GlobalAddress(locale, offset)) != 0
+
+
+class TestHeapProperties:
+    @given(ops=st.lists(st.sampled_from(["alloc", "free"]), max_size=120))
+    def test_alloc_free_accounting_is_exact(self, ops):
+        """live == allocs - frees under any alloc/free interleaving."""
+        h = Heap(0)
+        live = []
+        allocs = frees = 0
+        for op in ops:
+            if op == "alloc" or not live:
+                live.append(h.alloc(object()))
+                allocs += 1
+            else:
+                h.free(live.pop().offset)
+                frees += 1
+        assert h.live_count == allocs - frees == len(live)
+        for a in live:
+            assert h.is_live(a.offset)
+
+    @given(n=st.integers(min_value=1, max_value=60))
+    def test_distinct_live_addresses(self, n):
+        h = Heap(0)
+        addrs = [h.alloc(i) for i in range(n)]
+        assert len({a.offset for a in addrs}) == n
+
+    @given(
+        payloads=st.lists(
+            st.one_of(st.integers(), st.text(max_size=10), st.none()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_load_returns_exactly_what_was_stored(self, payloads):
+        h = Heap(0)
+        pairs = [(h.alloc(p), p) for p in payloads]
+        for addr, p in pairs:
+            assert h.load(addr.offset) == p
+
+    @given(n=st.integers(min_value=1, max_value=40))
+    def test_free_then_alloc_reuses_lifo(self, n):
+        h = Heap(0)
+        addrs = [h.alloc(i) for i in range(n)]
+        for a in addrs:
+            h.free(a.offset)
+        # Reallocation hands back the same offsets in reverse free order.
+        again = [h.alloc(i) for i in range(n)]
+        assert [a.offset for a in again] == [a.offset for a in reversed(addrs)]
+
+
+class TestAtomicArithmeticProperties:
+    @given(start=words64, deltas=st.lists(words64, max_size=20))
+    def test_uint_fetch_add_is_mod_2_64(self, start, deltas):
+        rt = _rt()
+        a = rt.atomic_uint(start)
+        expect = start
+        for d in deltas:
+            assert a.fetch_add(d) == expect
+            expect = (expect + d) & ((1 << 64) - 1)
+        assert a.peek() == expect
+
+    @given(start=ints64, deltas=st.lists(ints64, max_size=20))
+    def test_int_arithmetic_wraps_two_complement(self, start, deltas):
+        rt = _rt()
+        a = rt.atomic_int(start)
+        expect = start
+        for d in deltas:
+            a.add(d)
+            expect = (expect + d + (1 << 63)) % (1 << 64) - (1 << 63)
+        assert a.peek() == expect
+
+    @given(v=words64, w=words64)
+    def test_exchange_returns_previous(self, v, w):
+        rt = _rt()
+        a = rt.atomic_uint(v)
+        assert a.exchange(w) == v
+        assert a.exchange(v) == w
+
+    @given(v=words64, exp=words64, des=words64)
+    def test_cas_succeeds_iff_expected_matches(self, v, exp, des):
+        rt = _rt()
+        a = rt.atomic_uint(v)
+        ok = a.compare_and_swap(exp, des)
+        assert ok == (v == exp)
+        assert a.peek() == (des if ok else v)
+
+    @given(
+        lo=words64, hi=words64, elo=words64, ehi=words64, dlo=words64, dhi=words64
+    )
+    def test_dcas_succeeds_iff_both_halves_match(self, lo, hi, elo, ehi, dlo, dhi):
+        rt = _rt()
+        w = rt.atomic_wide((lo, hi))
+        ok = w.compare_and_swap((elo, ehi), (dlo, dhi))
+        assert ok == ((lo, hi) == (elo, ehi))
+        assert w.peek() == ((dlo, dhi) if ok else (lo, hi))
+
+
+class TestLimboListProperties:
+    @given(vals=st.lists(st.integers(), max_size=80))
+    def test_collect_is_reversed_pushes(self, vals):
+        from repro.core.limbo_list import LimboList, NodePool
+
+        rt = _rt()
+        pool = NodePool(rt, 0)
+        lst = LimboList(rt, 0, pool)
+        for v in vals:
+            lst.push(v)
+        assert lst.collect() == list(reversed(vals))
+
+    @given(
+        batches=st.lists(st.lists(st.integers(), max_size=20), max_size=8)
+    )
+    def test_phased_push_drain_never_loses_values(self, batches):
+        from repro.core.limbo_list import LimboList, NodePool
+
+        rt = _rt()
+        pool = NodePool(rt, 0)
+        lst = LimboList(rt, 0, pool)
+        for batch in batches:
+            for v in batch:
+                lst.push(v)
+            assert lst.collect() == list(reversed(batch))
+        assert lst.pop_all() is None
+
+
+class TestStackProperties:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers()),
+                st.tuples(st.just("pop"), st.none()),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(deadline=None)
+    def test_stack_matches_list_model(self, ops):
+        """Differential test: LockFreeStack vs a plain Python list."""
+        from repro.structures import LockFreeStack
+
+        rt = _rt()
+
+        def main():
+            st_ = LockFreeStack(rt)
+            model = []
+            for op, arg in ops:
+                if op == "push":
+                    st_.push(arg)
+                    model.append(arg)
+                else:
+                    got = st_.try_pop()
+                    want = model.pop() if model else None
+                    assert got == want
+            assert list(st_.unsafe_iter()) == list(reversed(model))
+
+        rt.run(main)
+
+
+class TestQueueProperties:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("enq"), st.integers()),
+                st.tuples(st.just("deq"), st.none()),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(deadline=None)
+    def test_queue_matches_deque_model(self, ops):
+        from collections import deque
+
+        from repro.structures import LockFreeQueue
+
+        rt = _rt()
+
+        def main():
+            q = LockFreeQueue(rt)
+            model = deque()
+            for op, arg in ops:
+                if op == "enq":
+                    q.enqueue(arg)
+                    model.append(arg)
+                else:
+                    got = q.try_dequeue()
+                    want = model.popleft() if model else None
+                    assert got == want
+            assert q.unsafe_len() == len(model)
+
+        rt.run(main)
+
+
+class TestOrderedListProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "contains"]),
+                st.integers(min_value=0, max_value=30),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(deadline=None)
+    def test_list_matches_set_model(self, ops):
+        from repro.structures import LockFreeOrderedList
+
+        rt = _rt()
+
+        def main():
+            lst = LockFreeOrderedList(rt)
+            model = set()
+            for op, k in ops:
+                if op == "insert":
+                    assert lst.insert(k) == (k not in model)
+                    model.add(k)
+                elif op == "remove":
+                    assert lst.remove(k) == (k in model)
+                    model.discard(k)
+                else:
+                    assert lst.contains(k) == (k in model)
+            assert lst.unsafe_keys() == sorted(model)
+
+        rt.run(main)
+
+
+class TestHashTableProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "remove", "get"]),
+                st.integers(min_value=0, max_value=20),
+                st.integers(),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(deadline=None)
+    def test_table_matches_dict_model(self, ops):
+        from repro.structures import InterlockedHashTable
+
+        rt = _rt()
+
+        def main():
+            t = InterlockedHashTable(rt, buckets=8)
+            model = {}
+            for op, k, v in ops:
+                if op == "put":
+                    assert t.put(k, v) == (k not in model)
+                    model[k] = v
+                elif op == "remove":
+                    assert t.remove(k) == (k in model)
+                    model.pop(k, None)
+                else:
+                    assert t.get(k, "missing") == model.get(k, "missing")
+            assert dict(t.items()) == model
+
+        rt.run(main)
