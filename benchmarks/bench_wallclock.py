@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the execution engine (not the modelled system).
+
+The paper's figures measure *virtual* seconds; this benchmark measures how
+much *real* time the simulator burns producing them — the quantity the
+engine overhaul (persistent worker pools, precompiled cost routes, striped
+diagnostics) optimizes.  Two workloads, both at 8 locales:
+
+* ``fig3_atomics``  — the Figure 3 ``atomic int`` 25/25/25/25 mix (ugni).
+* ``fig7_readonly`` — the Figure 7 pin/unpin read-only epoch workload.
+
+For each, the script reports the minimum wall time over several runs, the
+virtual elapsed seconds, and the comm-diagnostic totals, then compares
+against ``benchmarks/baseline_seed.json`` (the thread-per-task seed
+engine measured on the same machine):
+
+* **speedup** = baseline wall / current wall (the optimization target);
+* **virtual_s and comm totals must match the baseline exactly** — the
+  engine contract is that throughput work never changes simulated results.
+
+Output goes to ``BENCH_wallclock.json`` next to the repo root (or
+``--out``).  Exit status is non-zero if virtual time or comm totals
+diverge from the baseline; the speedup itself is reported, not enforced
+(machines differ — see the baseline file for the reference machine).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py           # full (7 reps)
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --quick   # smoke (3 reps)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.runtime.runtime import Runtime
+from repro.bench.workloads import run_atomic_mix, run_epoch_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_seed.json"
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+
+NUM_LOCALES = 8
+OPS_PER_TASK = 1 << 12
+
+
+def calibration() -> float:
+    """Wall seconds for a fixed pure-Python loop (lock cycles + float math).
+
+    Engine-independent; comparing against the ``calibration_s`` recorded
+    with the baseline estimates how loaded/slow the machine is *right
+    now* relative to when the baseline was taken, so speedups can be
+    reported load-adjusted as well as raw.  Do not change this loop
+    without re-recording every baseline.
+    """
+    lk = threading.Lock()
+    acc = 0.0
+    t0 = time.perf_counter()
+    for i in range(300000):
+        with lk:
+            acc += i * 0.5
+    return time.perf_counter() - t0
+
+
+def fig3_atomics():
+    """Figure 3 atomic-int mix at 8 locales under ugni."""
+    rt = Runtime(num_locales=NUM_LOCALES, network="ugni", tasks_per_locale=1)
+    try:
+        return run_atomic_mix(
+            rt, kind="atomic_int", ops_per_task=OPS_PER_TASK, tasks_per_locale=1
+        )
+    finally:
+        rt.close()
+
+
+def fig7_readonly():
+    """Figure 7 read-only pin/unpin workload at 8 locales under ugni."""
+    rt = Runtime(num_locales=NUM_LOCALES, network="ugni", tasks_per_locale=1)
+    try:
+        return run_epoch_workload(
+            rt,
+            ops_per_task=OPS_PER_TASK,
+            tasks_per_locale=1,
+            delete=False,
+            reclaim_every=None,
+            cleanup_at_end=False,
+        )
+    finally:
+        rt.close()
+
+
+WORKLOADS = {
+    "fig3_atomics": fig3_atomics,
+    "fig7_readonly": fig7_readonly,
+}
+
+
+def measure(fn, reps: int):
+    """Min wall seconds over ``reps`` runs (after one warm-up), plus result."""
+    fn()  # warm up: route tables, pool threads, bytecode caches
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, result
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="3 reps instead of 7")
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
+    ap.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="write measurements to benchmarks/baseline_seed.json instead of"
+        " comparing (run this on a checkout of the seed engine)",
+    )
+    args = ap.parse_args(argv)
+    reps = 3 if args.quick else 7
+
+    baseline = None
+    base_cal = None
+    if BASELINE_PATH.exists() and not args.record_baseline:
+        base_doc = json.loads(BASELINE_PATH.read_text())
+        baseline = base_doc["workloads"]
+        base_cal = base_doc.get("calibration_s")
+
+    cal_now = min(calibration() for _ in range(3 if args.quick else 5))
+    load_factor = (cal_now / base_cal) if base_cal else 1.0
+
+    report = {
+        "config": {
+            "num_locales": NUM_LOCALES,
+            "ops_per_task": OPS_PER_TASK,
+            "reps": reps,
+            "mode": "quick" if args.quick else "full",
+        },
+        "calibration_s": cal_now,
+        "load_factor_vs_baseline": load_factor,
+        "workloads": {},
+    }
+    failures = []
+    for name, fn in WORKLOADS.items():
+        wall, res = measure(fn, reps)
+        entry = {
+            "wall_s": wall,
+            "virtual_s": res.elapsed,
+            "operations": res.operations,
+            "comm": res.comm,
+        }
+        if baseline is not None:
+            base = baseline[name]
+            entry["baseline_wall_s"] = base["wall_s"]
+            entry["speedup"] = base["wall_s"] / wall if wall > 0 else float("inf")
+            # Load-adjusted: what the baseline would measure on the machine
+            # in its *current* state (per the calibration loop).
+            entry["speedup_load_adjusted"] = (
+                base["wall_s"] * load_factor / wall if wall > 0 else float("inf")
+            )
+            entry["virtual_matches_seed"] = res.elapsed == base["virtual_s"]
+            entry["comm_matches_seed"] = res.comm == base["comm"]
+            if not entry["virtual_matches_seed"]:
+                failures.append(
+                    f"{name}: virtual {res.elapsed!r} != seed {base['virtual_s']!r}"
+                )
+            if not entry["comm_matches_seed"]:
+                failures.append(f"{name}: comm totals diverge from seed")
+        report["workloads"][name] = entry
+        line = f"{name}: wall {wall*1e3:8.2f} ms  virtual {res.elapsed:.9f} s"
+        if baseline is not None:
+            line += (
+                f"  speedup {entry['speedup']:.2f}x"
+                f" (load-adjusted {entry['speedup_load_adjusted']:.2f}x)"
+            )
+        print(line)
+
+    if args.record_baseline:
+        payload = {
+            "comment": "Seed-engine reference recorded by --record-baseline.",
+            "calibration_s": cal_now,
+            "workloads": {
+                name: {
+                    "wall_s": e["wall_s"],
+                    "virtual_s": e["virtual_s"],
+                    "comm": e["comm"],
+                }
+                for name, e in report["workloads"].items()
+            },
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline recorded to {BASELINE_PATH}")
+        return 0
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Wall-clock smoke gate: tier-1 suite + engine wall-clock benchmark.
+#
+# Run from the repo root:
+#
+#     bash benchmarks/run_smoke.sh
+#
+# Writes BENCH_wallclock.json at the repo root so each PR leaves a perf
+# data point behind (virtual-time correctness is enforced; wall-clock
+# speedup is recorded for the trajectory).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== engine wall-clock benchmark (quick) =="
+python benchmarks/bench_wallclock.py --quick
+
+echo
+echo "smoke gate OK — see BENCH_wallclock.json"

@@ -5,11 +5,32 @@ An atomic cell lives on a *home locale* and owns a per-cell
 address pipeline — the resource that serializes concurrent operations on a
 *hot* atomic even when the rest of the machine is idle.
 
-Real-thread atomicity is provided by a per-cell ``threading.Lock``; virtual
-time and communication counters are charged through the runtime's
-:class:`~repro.comm.network.NetworkModel`, which applies the paper's routing
-rules (CPU vs NIC vs active message) based on where the calling task is and
-whether the runtime has network atomics.
+Real-thread atomicity is provided by a per-cell lock; virtual time and
+communication counters are charged along routes precompiled by the
+runtime's :class:`~repro.comm.network.NetworkModel`, which applies the
+paper's routing rules (CPU vs NIC vs active message) based on where the
+calling task is and whether the runtime has network atomics.
+
+Lock domains (the engine's one-lock-cycle-per-op design)
+--------------------------------------------------------
+Every charged operation must (a) reserve virtual time on its service
+points and (b) mutate the cell value atomically with respect to real
+threads.  Doing those under separate locks costs two lock cycles per
+operation — the dominant wall-clock cost of the old engine — so the cell
+picks ONE lock at construction and runs the whole sequence under it:
+
+* Under ``ugni`` (non-opt-out narrow routes), every operation on the cell
+  passes through the home locale's NIC pipeline, so the **NIC's lock** is
+  the cell lock: NIC reservation, line reservation, and value commit all
+  happen in one critical section (``ServicePoint.serve_locked``).
+* Otherwise (``none`` network, or an opted-out cell) the **line's lock**
+  is the cell lock; a progress-thread service point on the remote path
+  keeps its own lock and is served nested inside (lock order is always
+  cell-lock → point-lock, never the reverse, so this cannot deadlock).
+
+The line's own lock is therefore bypassed on hot paths whenever the cell
+lock is the NIC's; ``reset``/``utilization`` still take it, which is safe
+because measurement control runs at quiescent points only.
 
 Operations charge costs only when a task context is installed; this lets
 unit tests exercise pure semantics without standing up a runtime task.
@@ -17,11 +38,10 @@ unit tests exercise pure semantics without standing up a runtime task.
 
 from __future__ import annotations
 
-import threading
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..runtime.clock import ServicePoint
-from ..runtime.context import maybe_context
+from ..runtime.context import _tls as _context_tls
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -32,7 +52,18 @@ __all__ = ["AtomicCell"]
 class AtomicCell:
     """Common state & charging logic for one atomic memory location."""
 
-    __slots__ = ("_rt", "home", "_lock", "line", "name", "opt_out")
+    __slots__ = (
+        "_rt",
+        "home",
+        "_lock",
+        "line",
+        "name",
+        "opt_out",
+        "_narrow_hot",
+        "_wide_hot",
+        "_diags",
+        "_hot",
+    )
 
     def __init__(
         self,
@@ -46,7 +77,6 @@ class AtomicCell:
         self._rt = runtime
         #: Locale the cell's memory lives on.
         self.home = home
-        self._lock = threading.Lock()
         #: Per-cell serial resource (hot-line contention).
         self.line = ServicePoint(name or f"line@{home}")
         self.name = name
@@ -55,17 +85,105 @@ class AtomicCell:
         #: variables only ever touched by tasks on their home locale.
         self.opt_out = opt_out
 
+        # ---- precompiled charge plan (see module docstring) ------------
+        routes = runtime.network.atomic_route_table(home)
+        opt = 2 if opt_out else 0
+        narrow_remote, narrow_local = routes[opt], routes[opt | 1]
+        wide_remote, wide_local = routes[4 | opt], routes[4 | opt | 1]
+
+        shared_nic = narrow_local.point
+        if shared_nic is not None and shared_nic is narrow_remote.point:
+            # ugni narrow routing: both localities ride the same NIC
+            # pipeline — adopt its lock and reserve it via serve_locked.
+            self._lock = shared_nic._lock
+            narrow_pair = (
+                self._plan(narrow_remote, shared_nic.serve_locked),
+                self._plan(narrow_local, shared_nic.serve_locked),
+            )
+        else:
+            self._lock = self.line._lock
+            narrow_pair = (
+                self._plan(narrow_remote, None),
+                self._plan(narrow_local, None),
+            )
+        # Wide (and any) routes through a progress thread keep that
+        # point's own lock and are served nested inside the cell lock.
+        self._narrow_hot = narrow_pair
+        self._wide_hot = (
+            self._plan(wide_remote, None),
+            self._plan(wide_local, None),
+        )
+        self._diags = runtime.network.diags
+        #: Hot-path bundle for the inlined integer fast paths: one
+        #: attribute load + UNPACK_SEQUENCE hands a method everything it
+        #: needs (runtime for the identity check, locality inputs, routes,
+        #: diagnostics, and prebound lock/serve callables).
+        self._hot = (
+            runtime,
+            home,
+            self._narrow_hot,
+            self._diags,
+            self._lock.acquire,
+            self._lock.release,
+            self.line.serve_locked,
+        )
+
+    @staticmethod
+    def _plan(route, locked_point_serve):
+        """Flatten one route into the hot 5-tuple.
+
+        ``(diag_index, latency, outer, point_service, line_service)`` where
+        ``outer`` is the home-level serve callable to run inside the cell
+        lock — ``serve_locked`` when the cell lock IS that point's lock,
+        the point's self-locking ``serve`` when it is a different
+        (progress) point, or ``None`` for pure-CPU routes.
+        """
+        if route.point is None:
+            outer = None
+        elif locked_point_serve is not None:
+            outer = locked_point_serve
+        else:
+            outer = route.point.serve
+        return (route.diag_index, route.latency, outer, route.point_service, route.line_service)
+
     # ------------------------------------------------------------------
     def _charge(self, *, wide: bool = False) -> None:
         """Charge one atomic op according to caller locality & network mode.
 
-        No-op outside a task context (pure-semantics unit tests).
+        No-op outside a task context (pure-semantics unit tests).  The
+        route (latency class, service points, diagnostic index, lock
+        domain) was precompiled at construction; only the caller's
+        locality is decided here.  The integer cell's ``read``/``write``/
+        ``exchange``/``compare_and_swap`` inline this body (fused with
+        their value commit) — keep the implementations in sync.
         """
-        ctx = maybe_context()
-        if ctx is not None and ctx.runtime is self._rt:
-            self._rt.network.atomic_op(
-                ctx, self.home, self.line, wide=wide, opt_out=self.opt_out
-            )
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is None:
+            return
+        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        if ctx.runtime is not rt:
+            return
+        locale = ctx.locale_id
+        diag_index, latency, outer, point_service, line_service = (
+            self._wide_hot if wide else narrow
+        )[locale == home]
+        if diags._enabled:
+            rows = ctx.diag_rows
+            if rows is None:
+                rows = ctx.diag_rows = diags._rows()
+            rows[locale][diag_index] += 1
+        clock = ctx.clock
+        t = clock.now + latency
+        acquire()
+        try:
+            if outer is not None:
+                t = outer(t, point_service)
+            clock.now = line_serve_locked(t, line_service)
+        finally:
+            release()
 
     def reset_measurements(self) -> None:
         """Zero the cell's contention bookkeeping (between bench trials)."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Tuple
 
+from ..runtime.context import _tls as _context_tls
 from .cell import AtomicCell
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +33,7 @@ __all__ = ["AtomicUInt64", "AtomicInt64", "AtomicBool"]
 
 _MASK64 = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
+_TWO64 = 1 << 64
 
 
 def _to_signed(word: int) -> int:
@@ -67,17 +69,79 @@ class AtomicUInt64(AtomicCell):
         self._value = _to_word(initial)
 
     # -- reads / writes ---------------------------------------------------
+    # read/write are the two hottest operations in the whole simulator
+    # (every epoch pin/unpin is made of them), so both inline the narrow
+    # _charge body instead of calling it — keep them in sync with
+    # AtomicCell._charge.
+
     def read(self) -> int:
-        """Atomically load the current value."""
-        self._charge()
-        with self._lock:
-            return self._value
+        """Atomically load the current value.
+
+        Lock-free: every mutator commits with one attribute store (its
+        last action, under the cell lock), so a bare load always observes
+        a fully committed value — linearizable without touching the lock.
+        """
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is not None:
+            rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+            if ctx.runtime is rt:
+                locale = ctx.locale_id
+                diag_index, latency, outer, point_service, line_service = narrow[
+                    locale == home
+                ]
+                if diags._enabled:
+                    rows = ctx.diag_rows
+                    if rows is None:
+                        rows = ctx.diag_rows = diags._rows()
+                    rows[locale][diag_index] += 1
+                clock = ctx.clock
+                t = clock.now + latency
+                acquire()
+                try:
+                    if outer is not None:
+                        t = outer(t, point_service)
+                    clock.now = line_serve_locked(t, line_service)
+                finally:
+                    release()
+        return self._value
 
     def write(self, value: int) -> None:
-        """Atomically store ``value``."""
-        self._charge()
-        with self._lock:
-            self._value = _to_word(value)
+        """Atomically store ``value``.
+
+        The lock orders the store against in-flight read-modify-writes
+        (a blind store racing a fetch_add must serialize, not vanish).
+        """
+        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is None or ctx.runtime is not rt:
+            with self._lock:
+                self._value = value & _MASK64
+            return
+        locale = ctx.locale_id
+        diag_index, latency, outer, point_service, line_service = narrow[
+            locale == home
+        ]
+        if diags._enabled:
+            rows = ctx.diag_rows
+            if rows is None:
+                rows = ctx.diag_rows = diags._rows()
+            rows[locale][diag_index] += 1
+        clock = ctx.clock
+        t = clock.now + latency
+        acquire()
+        try:
+            if outer is not None:
+                t = outer(t, point_service)
+            clock.now = line_serve_locked(t, line_service)
+            self._value = value & _MASK64
+        finally:
+            release()
 
     def peek(self) -> int:
         """Non-atomic, cost-free load (test/debug instrumentation only)."""
@@ -90,33 +154,89 @@ class AtomicUInt64(AtomicCell):
     # -- read-modify-write -------------------------------------------------
     def exchange(self, value: int) -> int:
         """Atomically store ``value`` and return the previous value."""
-        self._charge()
-        with self._lock:
+        # Inlined narrow charge (Figure 3 mix hot path; see read()).
+        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is None or ctx.runtime is not rt:
+            with self._lock:
+                old = self._value
+                self._value = value & _MASK64
+                return old
+        locale = ctx.locale_id
+        diag_index, latency, outer, point_service, line_service = narrow[
+            locale == home
+        ]
+        if diags._enabled:
+            rows = ctx.diag_rows
+            if rows is None:
+                rows = ctx.diag_rows = diags._rows()
+            rows[locale][diag_index] += 1
+        clock = ctx.clock
+        t = clock.now + latency
+        acquire()
+        try:
+            if outer is not None:
+                t = outer(t, point_service)
+            clock.now = line_serve_locked(t, line_service)
             old = self._value
-            self._value = _to_word(value)
+            self._value = value & _MASK64
             return old
+        finally:
+            release()
 
     def compare_and_swap(self, expected: int, desired: int) -> bool:
         """CAS: store ``desired`` iff the value equals ``expected``.
 
         Returns ``True`` on success (Chapel's ``compareAndSwap``).
         """
-        self._charge()
-        expected = _to_word(expected)
-        with self._lock:
+        # Inlined narrow charge (Figure 3 mix hot path; see read()).
+        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is None or ctx.runtime is not rt:
+            expected &= _MASK64
+            with self._lock:
+                if self._value == expected:
+                    self._value = desired & _MASK64
+                    return True
+                return False
+        locale = ctx.locale_id
+        diag_index, latency, outer, point_service, line_service = narrow[
+            locale == home
+        ]
+        if diags._enabled:
+            rows = ctx.diag_rows
+            if rows is None:
+                rows = ctx.diag_rows = diags._rows()
+            rows[locale][diag_index] += 1
+        clock = ctx.clock
+        t = clock.now + latency
+        expected &= _MASK64
+        acquire()
+        try:
+            if outer is not None:
+                t = outer(t, point_service)
+            clock.now = line_serve_locked(t, line_service)
             if self._value == expected:
-                self._value = _to_word(desired)
+                self._value = desired & _MASK64
                 return True
             return False
+        finally:
+            release()
 
     def compare_exchange(self, expected: int, desired: int) -> Tuple[bool, int]:
         """CAS returning ``(success, observed_value)``."""
         self._charge()
-        expected = _to_word(expected)
+        expected &= _MASK64
         with self._lock:
             observed = self._value
             if observed == expected:
-                self._value = _to_word(desired)
+                self._value = desired & _MASK64
                 return True, observed
             return False, observed
 
@@ -125,7 +245,7 @@ class AtomicUInt64(AtomicCell):
         self._charge()
         with self._lock:
             old = self._value
-            self._value = _to_word(old + delta)
+            self._value = (old + delta) & _MASK64
             return old
 
     def add(self, delta: int) -> None:
@@ -145,7 +265,7 @@ class AtomicUInt64(AtomicCell):
         self._charge()
         with self._lock:
             old = self._value
-            self._value = _to_word(old | bits)
+            self._value = (old | bits) & _MASK64
             return old
 
     def fetch_and(self, bits: int) -> int:
@@ -153,7 +273,7 @@ class AtomicUInt64(AtomicCell):
         self._charge()
         with self._lock:
             old = self._value
-            self._value = _to_word(old & bits)
+            self._value = (old & bits) & _MASK64
             return old
 
     def fetch_xor(self, bits: int) -> int:
@@ -161,7 +281,7 @@ class AtomicUInt64(AtomicCell):
         self._charge()
         with self._lock:
             old = self._value
-            self._value = _to_word(old ^ bits)
+            self._value = (old ^ bits) & _MASK64
             return old
 
 
@@ -175,16 +295,78 @@ class AtomicInt64(AtomicUInt64):
     __slots__ = ()
 
     def read(self) -> int:
-        """Atomically load, interpreted as signed."""
-        return _to_signed(super().read())
+        """Atomically load, interpreted as signed (lock-free, see base)."""
+        # Inlined narrow charge (Figure 3 baseline hot path; see
+        # AtomicUInt64.read).
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is not None:
+            rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+            if ctx.runtime is rt:
+                locale = ctx.locale_id
+                diag_index, latency, outer, point_service, line_service = narrow[
+                    locale == home
+                ]
+                if diags._enabled:
+                    rows = ctx.diag_rows
+                    if rows is None:
+                        rows = ctx.diag_rows = diags._rows()
+                    rows[locale][diag_index] += 1
+                clock = ctx.clock
+                t = clock.now + latency
+                acquire()
+                try:
+                    if outer is not None:
+                        t = outer(t, point_service)
+                    clock.now = line_serve_locked(t, line_service)
+                finally:
+                    release()
+        value = self._value
+        return value - _TWO64 if value & _SIGN_BIT else value
 
     def peek(self) -> int:
         """Cost-free signed load (tests only)."""
         return _to_signed(super().peek())
 
     def exchange(self, value: int) -> int:
-        """Atomic exchange, returning the previous signed value."""
-        return _to_signed(super().exchange(value))
+        """Atomic exchange, returning the previous signed value.
+
+        Inlined like the base-class hot ops (25% of the Figure 3 mix); the
+        only difference is the signed interpretation of the old value.
+        """
+        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:  # thread never entered a task scope
+            ctx = None
+        if ctx is None or ctx.runtime is not rt:
+            with self._lock:
+                old = self._value
+                self._value = value & _MASK64
+            return old - _TWO64 if old & _SIGN_BIT else old
+        locale = ctx.locale_id
+        diag_index, latency, outer, point_service, line_service = narrow[
+            locale == home
+        ]
+        if diags._enabled:
+            rows = ctx.diag_rows
+            if rows is None:
+                rows = ctx.diag_rows = diags._rows()
+            rows[locale][diag_index] += 1
+        clock = ctx.clock
+        t = clock.now + latency
+        acquire()
+        try:
+            if outer is not None:
+                t = outer(t, point_service)
+            clock.now = line_serve_locked(t, line_service)
+            old = self._value
+            self._value = value & _MASK64
+        finally:
+            release()
+        return old - _TWO64 if old & _SIGN_BIT else old
 
     def compare_exchange(self, expected: int, desired: int) -> Tuple[bool, int]:
         """CAS returning ``(success, observed)`` with signed ``observed``."""
@@ -222,10 +404,10 @@ class AtomicBool(AtomicCell):
         self._value = bool(initial)
 
     def read(self) -> bool:
-        """Atomically load the flag."""
+        """Atomically load the flag (lock-free; mutators commit with one
+        store, so a bare load is linearizable)."""
         self._charge()
-        with self._lock:
-            return self._value
+        return self._value
 
     def write(self, value: bool) -> None:
         """Atomically store the flag."""

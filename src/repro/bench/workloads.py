@@ -102,54 +102,100 @@ def run_atomic_mix(
 
         use_aba = kind == "atomic_object_aba"
 
-        def body(task_idx: int) -> None:
+        # One body per cell kind, dispatched *outside* the per-op loop: the
+        # op stream (one randrange per op, 4-op cycle) is identical across
+        # variants, so virtual time and comm counts don't depend on which
+        # body runs — but the hot loop carries no per-op string compares.
+        def body_int(task_idx: int) -> None:
             from ..runtime.context import current_context
 
-            ctx = current_context()
-            rng = ctx.rng
-            for op_i in range(ops_per_task):
-                cell = cells[rng.randrange(ncells)]
-                op = op_i & 3  # cycle through the 4-op mix deterministically
-                if kind == "atomic_int":
-                    if op == 0:
-                        cell.read()
-                    elif op == 1:
-                        cell.write(op_i)
-                    elif op == 2:
-                        cell.compare_and_swap(0, op_i)
-                    else:
-                        cell.exchange(op_i)
+            rng = current_context().rng
+            # Random.randrange(n) is a thin, surprisingly expensive wrapper
+            # over _randbelow(n) for a positive int bound; calling the
+            # latter directly consumes the identical bit stream (so the op
+            # sequence — and therefore virtual time and comm counts — is
+            # unchanged) at a fraction of the call cost.
+            randbelow = rng._randbelow
+            # The 4-op mix cycles deterministically with op_i, so unroll it:
+            # same cell draws, same operands, no per-op dispatch.
+            whole = ops_per_task & ~3
+            for op_i in range(0, whole, 4):
+                cells[randbelow(ncells)].read()
+                cells[randbelow(ncells)].write(op_i + 1)
+                cells[randbelow(ncells)].compare_and_swap(0, op_i + 2)
+                cells[randbelow(ncells)].exchange(op_i + 3)
+            for op_i in range(whole, ops_per_task):
+                cell = cells[randbelow(ncells)]
+                op = op_i & 3
+                if op == 0:
+                    cell.read()
+                elif op == 1:
+                    cell.write(op_i)
+                elif op == 2:
+                    cell.compare_and_swap(0, op_i)
                 else:
-                    target = operands[cell.home][op_i & 1]
-                    if use_aba:
-                        if op == 0:
-                            cell.read_aba()
-                        elif op == 1:
-                            cell.write_aba(target)
-                        elif op == 2:
-                            snap = cell.read_aba()
-                            cell.compare_and_swap_aba(snap, target)
-                        else:
-                            cell.exchange_aba(target)
-                    else:
-                        if op == 0:
-                            cell.read()
-                        elif op == 1:
-                            cell.write(target)
-                        elif op == 2:
-                            expected = cell.read()
-                            cell.compare_and_swap(expected, target)
-                        else:
-                            cell.exchange(target)
+                    cell.exchange(op_i)
+
+        def body_aba(task_idx: int) -> None:
+            from ..runtime.context import current_context
+
+            rng = current_context().rng
+            # Random.randrange(n) is a thin, surprisingly expensive wrapper
+            # over _randbelow(n) for a positive int bound; calling the
+            # latter directly consumes the identical bit stream (so the op
+            # sequence — and therefore virtual time and comm counts — is
+            # unchanged) at a fraction of the call cost.
+            randbelow = rng._randbelow
+            for op_i in range(ops_per_task):
+                cell = cells[randbelow(ncells)]
+                op = op_i & 3
+                target = operands[cell.home][op_i & 1]
+                if op == 0:
+                    cell.read_aba()
+                elif op == 1:
+                    cell.write_aba(target)
+                elif op == 2:
+                    snap = cell.read_aba()
+                    cell.compare_and_swap_aba(snap, target)
+                else:
+                    cell.exchange_aba(target)
+
+        def body_obj(task_idx: int) -> None:
+            from ..runtime.context import current_context
+
+            rng = current_context().rng
+            # Random.randrange(n) is a thin, surprisingly expensive wrapper
+            # over _randbelow(n) for a positive int bound; calling the
+            # latter directly consumes the identical bit stream (so the op
+            # sequence — and therefore virtual time and comm counts — is
+            # unchanged) at a fraction of the call cost.
+            randbelow = rng._randbelow
+            for op_i in range(ops_per_task):
+                cell = cells[randbelow(ncells)]
+                op = op_i & 3
+                target = operands[cell.home][op_i & 1]
+                if op == 0:
+                    cell.read()
+                elif op == 1:
+                    cell.write(target)
+                elif op == 2:
+                    expected = cell.read()
+                    cell.compare_and_swap(expected, target)
+                else:
+                    cell.exchange(target)
+
+        if kind == "atomic_int":
+            body = body_int
+        elif use_aba:
+            body = body_aba
+        else:
+            body = body_obj
 
         rt.reset_measurements()
         with rt.timed() as t:
-            rt.forall(
-                range(ntasks),
-                body,
-                tasks_per_locale=tasks_per_locale,
-                owner_of=lambda item, idx: idx % nloc,
-            )
+            # owner_of is omitted: the default cyclic distribution is
+            # exactly idx % num_locales, without a per-item callback.
+            rt.forall(range(ntasks), body, tasks_per_locale=tasks_per_locale)
         ops = ntasks * ops_per_task
         return WorkloadResult(
             elapsed=t.elapsed, operations=ops, comm=rt.comm_totals()
@@ -232,23 +278,24 @@ def run_epoch_workload(
                 self.tok.unregister()
 
         def body(item_idx: int, st: "_TaskState") -> None:
-            st.tok.pin()
+            tok = st.tok
+            tok.pin()
             if delete:
-                st.tok.defer_delete(objs[item_idx])
-            st.tok.unpin()
+                tok.defer_delete(objs[item_idx])
+            tok.unpin()
             if reclaim_every is not None:
                 st.m += 1
                 if st.m % reclaim_every == 0:
-                    st.tok.try_reclaim()
+                    tok.try_reclaim()
 
         rt.reset_measurements()
         with rt.timed() as t:
+            # owner_of omitted: default cyclic distribution == idx % nloc.
             rt.forall(
                 range(num_objects),
                 body,
                 task_init=_TaskState,
                 tasks_per_locale=tasks_per_locale,
-                owner_of=lambda item, idx: idx % nloc,
             )
             if cleanup_at_end:
                 em.clear()

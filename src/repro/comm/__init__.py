@@ -6,11 +6,15 @@
   simulated interconnect).
 * :class:`~repro.comm.counters.CommDiagnostics` — per-locale operation
   counters (Chapel ``CommDiagnostics`` analogue).
+* :class:`~repro.comm.routes.AtomicRoute` /
+  :class:`~repro.comm.routes.DataRoute` — precompiled per-home charging
+  recipes the hot paths index instead of re-branching per operation.
 """
 
 from .costs import DEFAULT_COSTS, CostModel
 from .counters import CommDiagnostics, CommOp
 from .network import NetworkModel
+from .routes import AtomicRoute, DataRoute, atomic_route_index
 
 __all__ = [
     "CostModel",
@@ -18,4 +22,7 @@ __all__ = [
     "NetworkModel",
     "CommDiagnostics",
     "CommOp",
+    "AtomicRoute",
+    "DataRoute",
+    "atomic_route_index",
 ]

@@ -11,12 +11,21 @@ Counters are also the backbone of several tests and ablations: e.g. the
 privatization ablation asserts that a pinned/unpinned epoch token performs
 *zero* remote operations, and the scatter-list ablation counts AMs saved by
 bulk deallocation.
+
+Implementation: the record path is *striped* — every real thread owns a
+private ``[locale][op-index]`` counter array, so recording is a plain list
+increment with no lock and no string comparison (op names are resolved to
+integer indices once, at route-compilation or record time).  Because a
+stripe is only ever written by its owning thread, counts are exact; the
+queries aggregate all stripes under a lock.  This is what lets every
+simulated operation record a diagnostic without serializing the whole
+runtime through one global lock, and what makes ``stop()`` genuinely free
+for excluded setup/teardown phases (a single attribute check, no lock).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
 __all__ = ["CommOp", "CommDiagnostics"]
@@ -36,114 +45,155 @@ class CommOp:
     ALL: Tuple[str, ...] = (GET, PUT, AMO, LOCAL_AMO, AM, FORK, BULK)
 
 
-@dataclass
-class _LocaleCounters:
-    """Per-locale tally of operations initiated by tasks on that locale."""
-
-    get: int = 0
-    put: int = 0
-    amo: int = 0
-    local_amo: int = 0
-    am: int = 0
-    fork: int = 0
-    bulk: int = 0
-    bulk_bytes: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        """Plain-dict view (used by reports and tests)."""
-        return {
-            "get": self.get,
-            "put": self.put,
-            "amo": self.amo,
-            "local_amo": self.local_amo,
-            "am": self.am,
-            "fork": self.fork,
-            "bulk": self.bulk,
-            "bulk_bytes": self.bulk_bytes,
-        }
+#: Operation name -> stripe index; resolved once here, used everywhere
+#: (routes precompile these indices so the hot path never touches strings).
+_OP_TO_INDEX: Dict[str, int] = {op: i for i, op in enumerate(CommOp.ALL)}
+#: Extra slot accumulating payload bytes of BULK transfers.
+_BULK_INDEX = _OP_TO_INDEX[CommOp.BULK]
+_BULK_BYTES_INDEX = len(CommOp.ALL)
+_NUM_COUNTERS = _BULK_BYTES_INDEX + 1
+#: Key order of dict views (matches the historical ``as_dict`` layout).
+_KEYS: Tuple[str, ...] = CommOp.ALL + ("bulk_bytes",)
 
 
 class CommDiagnostics:
-    """Thread-safe operation counters for a whole runtime.
+    """Thread-safe, stripe-per-thread operation counters for a runtime.
 
     Counting can be paused/resumed (``stop()`` / ``start()``) so benchmarks
     can exclude setup and teardown, mirroring Chapel's
-    ``startCommDiagnostics`` / ``stopCommDiagnostics``.
+    ``startCommDiagnostics`` / ``stopCommDiagnostics``.  The record path is
+    lock-free (see module docstring); control and query methods take the
+    aggregation lock.
     """
 
     def __init__(self, num_locales: int) -> None:
-        self._lock = threading.Lock()
+        self._num_locales = num_locales
         self._enabled = True
-        self._per_locale: List[_LocaleCounters] = [
-            _LocaleCounters() for _ in range(num_locales)
-        ]
+        self._lock = threading.Lock()
+        #: Every thread's stripe, for aggregation; stripes are appended
+        #: under ``_lock`` and only ever mutated by their owning thread.
+        self._stripes: List[List[List[int]]] = []
+        self._tls = threading.local()
+
+    # -- op-name resolution (the single place unknown ops are rejected) ---
+    @staticmethod
+    def op_index(op: str) -> int:
+        """Resolve an operation name to its counter index (or raise).
+
+        Route precompilation and :meth:`record` both come through here, so
+        an unknown op string can never silently miscount — it fails fast
+        with a :class:`ValueError` at the one choke point.
+        """
+        try:
+            return _OP_TO_INDEX[op]
+        except KeyError:
+            raise ValueError(f"unknown comm op {op!r}") from None
+
+    def _rows(self) -> List[List[int]]:
+        """This thread's stripe (created and registered on first use)."""
+        try:
+            return self._tls.rows
+        except AttributeError:
+            return self._make_rows()
+
+    def _make_rows(self) -> List[List[int]]:
+        rows = [[0] * _NUM_COUNTERS for _ in range(self._num_locales)]
+        with self._lock:
+            self._stripes.append(rows)
+        self._tls.rows = rows
+        return rows
 
     # -- control ---------------------------------------------------------
     def start(self) -> None:
         """Enable counting (the default)."""
-        with self._lock:
-            self._enabled = True
+        self._enabled = True
 
     def stop(self) -> None:
         """Disable counting; records made while stopped are dropped."""
-        with self._lock:
-            self._enabled = False
+        self._enabled = False
 
     def reset(self) -> None:
-        """Zero all counters on all locales."""
+        """Zero all counters on all locales.
+
+        Call from a quiescent point (between benchmark trials): stripes
+        belong to other threads and are zeroed in place.
+        """
         with self._lock:
-            for i in range(len(self._per_locale)):
-                self._per_locale[i] = _LocaleCounters()
+            for rows in self._stripes:
+                for row in rows:
+                    for i in range(_NUM_COUNTERS):
+                        row[i] = 0
 
     # -- recording (called by the network layer) --------------------------
     def record(self, locale: int, op: str, nbytes: int = 0) -> None:
         """Attribute one operation of class ``op`` to ``locale``.
 
-        ``nbytes`` is only meaningful for ``CommOp.BULK``.
+        ``nbytes`` is only meaningful for ``CommOp.BULK``.  The enabled
+        check comes first so a stopped diagnostics object costs one
+        attribute read per operation — nothing is locked or resolved.
         """
-        with self._lock:
-            if not self._enabled:
-                return
-            c = self._per_locale[locale]
-            if op == CommOp.GET:
-                c.get += 1
-            elif op == CommOp.PUT:
-                c.put += 1
-            elif op == CommOp.AMO:
-                c.amo += 1
-            elif op == CommOp.LOCAL_AMO:
-                c.local_amo += 1
-            elif op == CommOp.AM:
-                c.am += 1
-            elif op == CommOp.FORK:
-                c.fork += 1
-            elif op == CommOp.BULK:
-                c.bulk += 1
-                c.bulk_bytes += nbytes
-            else:  # pragma: no cover - programming error
-                raise ValueError(f"unknown comm op {op!r}")
+        if not self._enabled:
+            return
+        idx = self.op_index(op)
+        row = self._rows()[locale]
+        row[idx] += 1
+        if idx == _BULK_INDEX:
+            row[_BULK_BYTES_INDEX] += nbytes
+
+    def record_index(self, locale: int, index: int) -> None:
+        """Hot-path record by precompiled index (see comm.routes).
+
+        Callers on the hottest paths (cell ``_charge``) inline this body
+        instead; keep the two in sync.
+        """
+        if self._enabled:
+            try:
+                rows = self._tls.rows
+            except AttributeError:
+                rows = self._make_rows()
+            rows[locale][index] += 1
+
+    def record_bulk(self, locale: int, nbytes: int) -> None:
+        """Hot-path record of one BULK transfer of ``nbytes``."""
+        if self._enabled:
+            row = self._rows()[locale]
+            row[_BULK_INDEX] += 1
+            row[_BULK_BYTES_INDEX] += nbytes
 
     # -- queries -----------------------------------------------------------
+    def _aggregate(self) -> List[List[int]]:
+        """Sum all stripes into one ``[locale][counter]`` matrix."""
+        out = [[0] * _NUM_COUNTERS for _ in range(self._num_locales)]
+        with self._lock:
+            for rows in self._stripes:
+                for loc in range(self._num_locales):
+                    row = rows[loc]
+                    acc = out[loc]
+                    for i in range(_NUM_COUNTERS):
+                        acc[i] += row[i]
+        return out
+
     def per_locale(self) -> List[Dict[str, int]]:
         """Snapshot of counters for each locale, in locale order."""
-        with self._lock:
-            return [c.as_dict() for c in self._per_locale]
+        return [dict(zip(_KEYS, row)) for row in self._aggregate()]
 
     def total(self, op: str) -> int:
-        """Total count of one operation class across locales."""
-        with self._lock:
-            return sum(getattr(c, op) for c in self._per_locale)
+        """Total count of one operation class across locales.
+
+        ``op`` may be any :class:`CommOp` name or ``"bulk_bytes"``.
+        """
+        if op == "bulk_bytes":
+            idx = _BULK_BYTES_INDEX
+        else:
+            idx = self.op_index(op)
+        return sum(row[idx] for row in self._aggregate())
 
     def totals(self) -> Dict[str, int]:
         """Totals of every operation class across locales."""
-        with self._lock:
-            out: Dict[str, int] = {k: 0 for k in CommOp.ALL}
-            out["bulk_bytes"] = 0
-            for c in self._per_locale:
-                d = c.as_dict()
-                for k, v in d.items():
-                    out[k] = out.get(k, 0) + v
-            return out
+        agg = self._aggregate()
+        return {
+            key: sum(row[i] for row in agg) for i, key in enumerate(_KEYS)
+        }
 
     def remote_ops(self) -> int:
         """Total operations that actually crossed the network."""

@@ -26,15 +26,26 @@ remote fork (``on``)   active message           active message
 
 The 128-bit row is why the paper's ``AtomicObject (ABA)`` cannot use the
 RDMA fast path: no interconnect offers a 16-byte network atomic.
+
+Because every input to a routing decision is fixed at construction time,
+the table above is *precompiled*: each home locale gets an 8-entry
+:class:`~repro.comm.routes.AtomicRoute` table (the (wide, opt_out, local)
+cube) and one :class:`~repro.comm.routes.DataRoute` per transfer class,
+built lazily on first use and cached for the runtime's life.  The hot
+paths (:meth:`charge_atomic`, :meth:`read`, :meth:`write`, :meth:`bulk`)
+are straight-line: one table index, one precompiled diagnostic bump, one
+or two service-point passes.  :meth:`atomic_op` keeps the branchy
+reference semantics as a thin wrapper over the same tables.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..runtime.clock import ServicePoint, TaskClock
 from .costs import CostModel
 from .counters import CommDiagnostics, CommOp
+from .routes import AtomicRoute, DataRoute, atomic_route_index
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.config import RuntimeConfig
@@ -59,6 +70,109 @@ class NetworkModel:
         ]
         #: Operation counters, bucketed by initiating locale.
         self.diags = CommDiagnostics(config.num_locales)
+        # Precompiled route caches, one slot per home locale, filled on
+        # first use (a 2**16-locale machine should not pay for 2**16
+        # tables up front).
+        nloc = config.num_locales
+        self._atomic_tables: List[Optional[Tuple[AtomicRoute, ...]]] = [None] * nloc
+        self._get_routes: List[Optional[DataRoute]] = [None] * nloc
+        self._put_routes: List[Optional[DataRoute]] = [None] * nloc
+        self._bulk_routes: List[Optional[DataRoute]] = [None] * nloc
+        # Scalars lifted out of the hot paths.
+        self._cpu_load_latency = self.costs.cpu_load_latency
+        self._bulk_byte_cost = self.costs.rdma_byte_cost
+
+    # ------------------------------------------------------------------
+    # route compilation
+    # ------------------------------------------------------------------
+    def atomic_route_table(self, home: int) -> Tuple[AtomicRoute, ...]:
+        """The 8-entry precompiled atomic route table for ``home``.
+
+        Index layout: ``(wide << 2) | (opt_out << 1) | local`` — see
+        :func:`repro.comm.routes.atomic_route_index`.  Cells fetch this
+        once at construction; all cells on one home share one table.
+        """
+        table = self._atomic_tables[home]
+        if table is None:
+            table = self._compile_atomic_table(home)
+            self._atomic_tables[home] = table
+        return table
+
+    def _compile_atomic_table(self, home: int) -> Tuple[AtomicRoute, ...]:
+        c = self.costs
+        idx = CommDiagnostics.op_index
+        local_amo = idx(CommOp.LOCAL_AMO)
+        amo = idx(CommOp.AMO)
+        am = idx(CommOp.AM)
+        progress = self.progress[home]
+        nic = self.nic[home]
+
+        cpu_local = AtomicRoute(
+            local_amo, c.cpu_atomic_latency, None, 0.0, c.cpu_atomic_service
+        )
+        cpu_remote = AtomicRoute(
+            am, 2.0 * c.am_latency, progress, c.am_service, c.cpu_atomic_service
+        )
+        dcas_local = AtomicRoute(
+            local_amo, c.cpu_dcas_latency, None, 0.0, c.cpu_dcas_service
+        )
+        # Remote DCAS = remote execution: round trip through the target's
+        # progress thread, then the line.
+        dcas_remote = AtomicRoute(
+            am, 2.0 * c.am_latency, progress, c.am_service, c.cpu_dcas_service
+        )
+        if self.config.uses_network_atomics:
+            # ugni: every narrow atomic — even a locale-local one — rides
+            # the NIC (network atomics are not coherent with CPU atomics).
+            narrow_local = AtomicRoute(
+                local_amo,
+                c.nic_atomic_local_latency,
+                nic,
+                c.nic_atomic_service,
+                c.nic_atomic_service,
+            )
+            narrow_remote = AtomicRoute(
+                amo,
+                c.nic_atomic_remote_latency,
+                nic,
+                c.nic_atomic_service,
+                c.nic_atomic_service,
+            )
+        else:
+            # none: local is a CPU atomic, remote demotes to an AM round trip.
+            narrow_local = cpu_local
+            narrow_remote = cpu_remote
+        # Opting out removes the NIC detour, not physics: a remote access
+        # to an opted-out atomic still pays the active-message price.
+        # ``wide`` ignores opt_out entirely (a DCAS is never a NIC op).
+        table: List[Optional[AtomicRoute]] = [None] * 8
+        for wide in (False, True):
+            for opt_out in (False, True):
+                if wide:
+                    remote, local = dcas_remote, dcas_local
+                elif opt_out:
+                    remote, local = cpu_remote, cpu_local
+                else:
+                    remote, local = narrow_remote, narrow_local
+                table[atomic_route_index(wide, opt_out, False)] = remote
+                table[atomic_route_index(wide, opt_out, True)] = local
+        return tuple(table)
+
+    def _data_route(
+        self, cache: List[Optional[DataRoute]], home: int, op: str
+    ) -> DataRoute:
+        route = cache[home]
+        if route is None:
+            c = self.costs
+            route = DataRoute(
+                CommDiagnostics.op_index(op),
+                c.rdma_small_latency,
+                c.rdma_byte_cost,
+                self.nic[home],
+                c.rdma_service,
+            )
+            cache[home] = route
+        return route
 
     # ------------------------------------------------------------------
     # internals
@@ -79,6 +193,35 @@ class NetworkModel:
     # ------------------------------------------------------------------
     # atomics
     # ------------------------------------------------------------------
+    def charge_atomic(
+        self, ctx: "TaskContext", line: ServicePoint, route: AtomicRoute
+    ) -> None:
+        """Charge one atomic op along a precompiled route (the hot path).
+
+        ``line`` is the per-cell service point (the cache line / NIC-side
+        address pipeline for that atomic variable) — this is what makes a
+        *hot* atomic serialize even when the rest of the machine is idle.
+        Equivalent to :meth:`atomic_op` with the branch chain already
+        resolved; the clock algebra matches ``_serve`` exactly (the final
+        time can never precede ``now + latency``, so the plain store is
+        the same as ``advance`` + ``advance_to``).
+        """
+        diags = self.diags
+        if diags._enabled:
+            # Thread-local stripe, NOT the ctx.diag_rows cache: this entry
+            # point may legitimately be reached with a ctx belonging to a
+            # different runtime (cross-runtime get/put), and caching a
+            # foreign diags' stripe on the context would poison every
+            # later same-runtime record.  Only the runtime-guarded atomic
+            # cell fast paths populate ctx.diag_rows.
+            diags.record_index(ctx.locale_id, route.diag_index)
+        clock = ctx.clock
+        t = clock.now + route.latency
+        point = route.point
+        if point is not None:
+            t = point.serve(t, route.point_service)
+        clock.now = line.serve(t, route.line_service)
+
     def atomic_op(
         self,
         ctx: "TaskContext",
@@ -90,9 +233,10 @@ class NetworkModel:
     ) -> None:
         """Charge one atomic memory operation against locale ``home``.
 
-        ``line`` is the per-cell service point (the cache line / NIC-side
-        address pipeline for that atomic variable) — this is what makes a
-        *hot* atomic serialize even when the NIC itself has spare capacity.
+        Reference entry point mirroring the routing table in the module
+        docstring; resolves the precompiled route and defers to
+        :meth:`charge_atomic`.  Cells bypass this wrapper by caching their
+        home's table at construction.
 
         ``wide=True`` selects the 128-bit DCAS rules (never RDMA).
 
@@ -103,124 +247,57 @@ class NetworkModel:
         the active-message price — opting out removes the NIC detour, not
         physics.
         """
-        c = self.costs
-        local = ctx.locale_id == home
-        if opt_out and not wide:
-            if local:
-                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
-                self._serve(
-                    ctx.clock,
-                    c.cpu_atomic_latency,
-                    (line,),
-                    (c.cpu_atomic_service,),
-                )
-            else:
-                self.diags.record(ctx.locale_id, CommOp.AM)
-                self._serve(
-                    ctx.clock,
-                    2.0 * c.am_latency,
-                    (self.progress[home], line),
-                    (c.am_service, c.cpu_atomic_service),
-                )
-            return
-        if wide:
-            if local:
-                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
-                self._serve(
-                    ctx.clock,
-                    c.cpu_dcas_latency,
-                    (line,),
-                    (c.cpu_dcas_service,),
-                )
-            else:
-                # Remote DCAS = remote execution: round trip through the
-                # target's progress thread, then the line.
-                self.diags.record(ctx.locale_id, CommOp.AM)
-                self._serve(
-                    ctx.clock,
-                    2.0 * c.am_latency,
-                    (self.progress[home], line),
-                    (c.am_service, c.cpu_dcas_service),
-                )
-            return
-
-        if self.config.uses_network_atomics:
-            # ugni: every atomic — even a locale-local one — rides the NIC.
-            latency = (
-                c.nic_atomic_local_latency if local else c.nic_atomic_remote_latency
-            )
-            self.diags.record(
-                ctx.locale_id, CommOp.LOCAL_AMO if local else CommOp.AMO
-            )
-            self._serve(
-                ctx.clock,
-                latency,
-                (self.nic[home], line),
-                (c.nic_atomic_service, c.nic_atomic_service),
-            )
-        else:
-            if local:
-                self.diags.record(ctx.locale_id, CommOp.LOCAL_AMO)
-                self._serve(
-                    ctx.clock,
-                    c.cpu_atomic_latency,
-                    (line,),
-                    (c.cpu_atomic_service,),
-                )
-            else:
-                # none: remote atomic demotes to an AM round trip.
-                self.diags.record(ctx.locale_id, CommOp.AM)
-                self._serve(
-                    ctx.clock,
-                    2.0 * c.am_latency,
-                    (self.progress[home], line),
-                    (c.am_service, c.cpu_atomic_service),
-                )
+        table = self.atomic_route_table(home)
+        index = (
+            (4 if wide else 0)
+            | (2 if opt_out else 0)
+            | (1 if ctx.locale_id == home else 0)
+        )
+        self.charge_atomic(ctx, line, table[index])
 
     # ------------------------------------------------------------------
     # one-sided data movement
     # ------------------------------------------------------------------
     def read(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a GET of ``nbytes`` from locale ``home``."""
-        c = self.costs
+        clock = ctx.clock
         if ctx.locale_id == home:
-            ctx.clock.advance(c.cpu_load_latency)
+            clock.now += self._cpu_load_latency
             return
-        self.diags.record(ctx.locale_id, CommOp.GET)
-        self._serve(
-            ctx.clock,
-            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
-            (self.nic[home],),
-            (c.rdma_service,),
-        )
+        r = self._get_routes[home]
+        if r is None:
+            r = self._data_route(self._get_routes, home, CommOp.GET)
+        # Thread-local stripe, not the ctx cache (see charge_atomic).
+        self.diags.record_index(ctx.locale_id, r.diag_index)
+        t = clock.now + r.latency + nbytes * r.byte_cost
+        clock.now = r.point.serve(t, r.service)
 
     def write(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a PUT of ``nbytes`` to locale ``home``."""
-        c = self.costs
+        clock = ctx.clock
         if ctx.locale_id == home:
-            ctx.clock.advance(c.cpu_load_latency)
+            clock.now += self._cpu_load_latency
             return
-        self.diags.record(ctx.locale_id, CommOp.PUT)
-        self._serve(
-            ctx.clock,
-            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
-            (self.nic[home],),
-            (c.rdma_service,),
-        )
+        r = self._put_routes[home]
+        if r is None:
+            r = self._data_route(self._put_routes, home, CommOp.PUT)
+        # Thread-local stripe, not the ctx cache (see charge_atomic).
+        self.diags.record_index(ctx.locale_id, r.diag_index)
+        t = clock.now + r.latency + nbytes * r.byte_cost
+        clock.now = r.point.serve(t, r.service)
 
     def bulk(self, ctx: "TaskContext", home: int, nbytes: int) -> None:
         """Charge a bulk one-sided transfer of ``nbytes`` to/from ``home``."""
-        c = self.costs
+        clock = ctx.clock
         if ctx.locale_id == home:
-            ctx.clock.advance(c.cpu_load_latency + nbytes * c.rdma_byte_cost)
+            clock.now += self._cpu_load_latency + nbytes * self._bulk_byte_cost
             return
-        self.diags.record(ctx.locale_id, CommOp.BULK, nbytes=nbytes)
-        self._serve(
-            ctx.clock,
-            c.rdma_small_latency + nbytes * c.rdma_byte_cost,
-            (self.nic[home],),
-            (c.rdma_service,),
-        )
+        r = self._bulk_routes[home]
+        if r is None:
+            r = self._data_route(self._bulk_routes, home, CommOp.BULK)
+        self.diags.record_bulk(ctx.locale_id, nbytes)
+        t = clock.now + r.latency + nbytes * r.byte_cost
+        clock.now = r.point.serve(t, r.service)
 
     # ------------------------------------------------------------------
     # remote execution
@@ -307,7 +384,11 @@ class NetworkModel:
     # measurement control
     # ------------------------------------------------------------------
     def reset_measurements(self) -> None:
-        """Zero all service points and counters (between benchmark trials)."""
+        """Zero all service points and counters (between benchmark trials).
+
+        Routes are untouched: they reference service points by identity,
+        and ``reset`` zeroes points in place.
+        """
         for p in self.nic:
             p.reset()
         for p in self.progress:

@@ -157,6 +157,11 @@ class AtomicObject:
         self._lock = threading.Lock()
         #: Per-cell contention point (hot-line serialization).
         self.line = ServicePoint(name or f"atomicobject@{self.home}")
+        #: Precompiled atomic routes for the home locale, pre-sliced into
+        #: (remote, local) pairs (opt_out never applies to AtomicObject).
+        routes = runtime.network.atomic_route_table(self.home)
+        self._narrow_routes = (routes[0], routes[1])
+        self._wide_routes = (routes[4], routes[5])
         self._addr: GlobalAddress = initial
         self._count = 0
         self._descriptors: Optional[DescriptorTable] = (
@@ -184,7 +189,10 @@ class AtomicObject:
     def _charge(self, *, wide: bool) -> None:
         ctx = maybe_context()
         if ctx is not None and ctx.runtime is self._rt:
-            self._rt.network.atomic_op(ctx, self.home, self.line, wide=wide)
+            route = (self._wide_routes if wide else self._narrow_routes)[
+                ctx.locale_id == self.home
+            ]
+            self._rt.network.charge_atomic(ctx, self.line, route)
 
     def _validate(self, addr: GlobalAddress) -> GlobalAddress:
         if not isinstance(addr, GlobalAddress):

@@ -68,9 +68,17 @@ EPOCH_CYCLE = 3
 
 
 class EpochManagerStats:
-    """Aggregate counters for one manager (tests & EXPERIMENTS.md tables)."""
+    """Aggregate counters for one manager (tests & EXPERIMENTS.md tables).
 
-    __slots__ = (
+    Striped like :class:`~repro.comm.counters.CommDiagnostics`: every real
+    thread owns a private counter row, so :meth:`inc` on the ``tryReclaim``
+    hot path is a plain list increment — no lock, exact counts.  Reads
+    (the ``advances`` etc. attributes, implemented as aggregating
+    properties) sum the stripes under a lock; they are diagnostic-time
+    operations, not hot-path ones.
+    """
+
+    FIELDS = (
         "reclaim_attempts",
         "elections_lost_local",
         "elections_lost_global",
@@ -79,17 +87,53 @@ class EpochManagerStats:
         "objects_reclaimed",
     )
 
+    __slots__ = ("_stripes", "_lock", "_tls")
+
     def __init__(self) -> None:
-        self.reclaim_attempts = 0
-        self.elections_lost_local = 0
-        self.elections_lost_global = 0
-        self.scans_unsafe = 0
-        self.advances = 0
-        self.objects_reclaimed = 0
+        self._stripes: List[List[int]] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    def _row(self) -> List[int]:
+        """This thread's stripe (created and registered on first use)."""
+        try:
+            return self._tls.row
+        except AttributeError:
+            row = [0] * len(self.FIELDS)
+            with self._lock:
+                self._stripes.append(row)
+            self._tls.row = row
+            return row
+
+    def inc(self, field: str, n: int = 1) -> None:
+        """Lock-free add of ``n`` to one counter (hot path)."""
+        self._row()[_STAT_INDEX[field]] += n
+
+    def _get(self, index: int) -> int:
+        with self._lock:
+            return sum(row[index] for row in self._stripes)
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        with self._lock:
+            totals = [0] * len(self.FIELDS)
+            for row in self._stripes:
+                for i, v in enumerate(row):
+                    totals[i] += v
+        return dict(zip(self.FIELDS, totals))
+
+
+_STAT_INDEX = {name: i for i, name in enumerate(EpochManagerStats.FIELDS)}
+
+# Each counter is also readable as an attribute (``stats.advances``),
+# aggregating all stripes on access.
+for _i, _name in enumerate(EpochManagerStats.FIELDS):
+    setattr(
+        EpochManagerStats,
+        _name,
+        property(lambda self, _i=_i: self._get(_i)),
+    )
+del _i, _name
 
 
 class _GlobalEpoch:
@@ -201,7 +245,6 @@ class EpochManager(PrivatizedObject):
         self.use_election = bool(use_election)
         self.use_scatter = bool(use_scatter)
         self.stats = EpochManagerStats()
-        self._stats_lock = threading.Lock()
         self._destroyed = False
         instances = [
             _EpochManagerInstance(self, runtime, lid, cycle=self.epoch_cycle)
@@ -247,19 +290,16 @@ class EpochManager(PrivatizedObject):
         self._check_alive()
         rt = self._rt
         inst: _EpochManagerInstance = self.get_privatized_instance()
-        with self._stats_lock:
-            self.stats.reclaim_attempts += 1
+        self.stats.inc("reclaim_attempts")
 
         if self.use_election:
             # Listing 4 lines 2-6: local flag first, then the global flag.
             if inst.is_setting_epoch.test_and_set():
-                with self._stats_lock:
-                    self.stats.elections_lost_local += 1
+                self.stats.inc("elections_lost_local")
                 return False
             if self.global_epoch.is_setting_epoch.test_and_set():
                 inst.is_setting_epoch.clear()
-                with self._stats_lock:
-                    self.stats.elections_lost_global += 1
+                self.stats.inc("elections_lost_global")
                 return False
 
         try:
@@ -290,8 +330,7 @@ class EpochManager(PrivatizedObject):
 
         rt.coforall_locales(scan_locale)
         if not all(votes):
-            with self._stats_lock:
-                self.stats.scans_unsafe += 1
+            self.stats.inc("scans_unsafe")
             return False
 
         # -- 3. advance the global epoch ---------------------------------
@@ -303,8 +342,7 @@ class EpochManager(PrivatizedObject):
         cycle = self.epoch_cycle
         new_epoch = (this_epoch % cycle) + 1
         if not self.global_epoch.epoch.compare_and_swap(this_epoch, new_epoch):
-            with self._stats_lock:
-                self.stats.scans_unsafe += 1
+            self.stats.inc("scans_unsafe")
             return False
 
         # The list for the epoch *after* new — the oldest in the cycle,
@@ -313,9 +351,8 @@ class EpochManager(PrivatizedObject):
         reclaim_index = new_epoch % cycle
 
         reclaimed = self._drain_and_free([reclaim_index], new_epoch=new_epoch)
-        with self._stats_lock:
-            self.stats.advances += 1
-            self.stats.objects_reclaimed += reclaimed
+        self.stats.inc("advances")
+        self.stats.inc("objects_reclaimed", reclaimed)
         return True
 
     def _drain_and_free(
@@ -385,8 +422,7 @@ class EpochManager(PrivatizedObject):
         """
         self._check_alive()
         freed = self._drain_and_free(list(range(self.epoch_cycle)))
-        with self._stats_lock:
-            self.stats.objects_reclaimed += freed
+        self.stats.inc("objects_reclaimed", freed)
         return freed
 
     # ------------------------------------------------------------------

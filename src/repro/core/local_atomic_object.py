@@ -51,6 +51,12 @@ class LocalAtomicObject:
         self.line = ServicePoint(name or f"localatomic@{self.home}")
         self._addr = self._validate(initial)
         self._count = 0
+        #: Precompiled atomic routes for the home locale, pre-sliced into
+        #: (remote, local) pairs: narrow ops opt out of network atomics,
+        #: wide ops take the DCAS rows (where opt_out is irrelevant).
+        routes = runtime.network.atomic_route_table(self.home)
+        self._narrow_routes = (routes[2], routes[3])
+        self._wide_routes = (routes[4], routes[5])
 
     # ------------------------------------------------------------------
     def _validate(self, addr: GlobalAddress) -> GlobalAddress:
@@ -69,11 +75,13 @@ class LocalAtomicObject:
     def _charge(self, *, wide: bool) -> None:
         ctx = maybe_context()
         if ctx is not None and ctx.runtime is self._rt:
-            # opt_out=True: never a network atomic; remote use (which the
-            # locale check above makes useless anyway) would price as AM.
-            self._rt.network.atomic_op(
-                ctx, self.home, self.line, wide=wide, opt_out=not wide
-            )
+            # opt_out (narrow only): never a network atomic; remote use
+            # (which the locale check above makes useless anyway) would
+            # price as AM.
+            route = (self._wide_routes if wide else self._narrow_routes)[
+                ctx.locale_id == self.home
+            ]
+            self._rt.network.charge_atomic(ctx, self.line, route)
 
     def _require_aba(self) -> None:
         if not self.aba_protection:

@@ -63,7 +63,6 @@ class LocalEpochManager:
         self._token_seq = 0
         self._token_seq_lock = threading.Lock()
         self.stats = EpochManagerStats()
-        self._stats_lock = threading.Lock()
         self._destroyed = False
         #: Token compatibility shims (Token expects a manager-instance API).
         self.manager = self
@@ -109,26 +108,22 @@ class LocalEpochManager:
         tokens, one limbo-list drain, one bulk free.
         """
         self._check_alive()
-        with self._stats_lock:
-            self.stats.reclaim_attempts += 1
+        self.stats.inc("reclaim_attempts")
         if self.is_setting_epoch.test_and_set():
-            with self._stats_lock:
-                self.stats.elections_lost_local += 1
+            self.stats.inc("elections_lost_local")
             return False
         try:
             this_epoch = self.locale_epoch.read()
             for token in self.allocated_tokens:
                 e = token.local_epoch.read()
                 if e != 0 and e != this_epoch:
-                    with self._stats_lock:
-                        self.stats.scans_unsafe += 1
+                    self.stats.inc("scans_unsafe")
                     return False
             new_epoch = (this_epoch % EPOCH_CYCLE) + 1
             self.locale_epoch.write(new_epoch)
             freed = self._drain([new_epoch % EPOCH_CYCLE])
-            with self._stats_lock:
-                self.stats.advances += 1
-                self.stats.objects_reclaimed += freed
+            self.stats.inc("advances")
+            self.stats.inc("objects_reclaimed", freed)
             return True
         finally:
             self.is_setting_epoch.clear()
@@ -154,8 +149,7 @@ class LocalEpochManager:
         """Reclaim everything (caller guarantees quiescence)."""
         self._check_alive()
         freed = self._drain(list(range(EPOCH_CYCLE)))
-        with self._stats_lock:
-            self.stats.objects_reclaimed += freed
+        self.stats.inc("objects_reclaimed", freed)
         return freed
 
     def destroy(self) -> None:

@@ -30,6 +30,7 @@ from ..atomics.integer import AtomicUInt64
 from ..atomics.ref import AtomicRef
 from ..errors import TokenStateError
 from ..memory.address import GlobalAddress
+from ..runtime.context import _tls as _context_tls
 from ..runtime.context import current_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,7 +43,15 @@ __all__ = ["Token", "TokenFreeList", "TokenAllocatedList"]
 class Token:
     """One task's registration with an epoch-manager instance."""
 
-    __slots__ = ("_inst", "local_epoch", "token_id", "_registered", "_free_next", "_alloc_next")
+    __slots__ = (
+        "_inst",
+        "_inst_epoch",
+        "local_epoch",
+        "token_id",
+        "_registered",
+        "_free_next",
+        "_alloc_next",
+    )
 
     def __init__(self, inst: "_EpochManagerInstance", token_id: int) -> None:
         self._inst = inst
@@ -57,6 +66,9 @@ class Token:
             opt_out=True,
         )
         self.token_id = token_id
+        #: Cached reference to the instance's locale-epoch cell (pin reads
+        #: it up to twice per call; skip the two-attribute chain).
+        self._inst_epoch = inst.locale_epoch
         self._registered = True
         self._free_next: Optional["Token"] = None  # free-list link
         self._alloc_next: Optional["Token"] = None  # allocated-list link
@@ -65,7 +77,14 @@ class Token:
     def _check_usable(self) -> None:
         if not self._registered:
             raise TokenStateError("token has been unregistered")
-        ctx = current_context()
+        # Inline context fetch (pin/unpin hot path); current_context()
+        # supplies the precise no-context error on the cold branch.
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:
+            ctx = None
+        if ctx is None:
+            ctx = current_context()
         if ctx.locale_id != self._inst.locale_id:
             raise TokenStateError(
                 f"token registered on locale {self._inst.locale_id} used from"
@@ -98,10 +117,12 @@ class Token:
         pin/unpin should bracket operations tightly.
         """
         self._check_usable()
-        epoch = self._inst.locale_epoch.read()
+        inst_epoch = self._inst_epoch
+        my_epoch = self.local_epoch
+        epoch = inst_epoch.read()
         while True:
-            self.local_epoch.write(epoch)
-            current = self._inst.locale_epoch.read()
+            my_epoch.write(epoch)
+            current = inst_epoch.read()
             if current == epoch:
                 return
             epoch = current

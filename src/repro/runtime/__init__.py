@@ -17,7 +17,7 @@ from .config import NetworkType, RuntimeConfig
 from .context import TaskContext, current_context, maybe_context
 from .diagnostics import RuntimeSnapshot, snapshot
 from .runtime import Locale, Runtime, Timer
-from .tasking import TaskGroup
+from .tasking import TaskGroup, WorkerPool
 
 __all__ = [
     "Runtime",
@@ -29,6 +29,7 @@ __all__ = [
     "ServicePoint",
     "TaskContext",
     "TaskGroup",
+    "WorkerPool",
     "current_context",
     "maybe_context",
     "RuntimeSnapshot",

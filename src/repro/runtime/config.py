@@ -18,6 +18,7 @@ constructs one runtime per point from a config and tears it down.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -68,6 +69,13 @@ class RuntimeConfig:
     seed:
         Seed for all task-local RNGs; sweeps derive per-task seeds from it
         deterministically.
+    worker_pool_size:
+        Maximum real threads in the runtime's persistent
+        :class:`~repro.runtime.tasking.WorkerPool`.  ``None`` (the default)
+        resolves to ``max(2, os.cpu_count())`` — enough for genuine
+        interleavings without GIL convoying.  Virtual-time results are
+        independent of this knob (see docs/ENGINE.md); it only trades real
+        parallelism against scheduler overhead.
     heap_base:
         First virtual address each per-locale heap hands out. Nonzero so
         that the compressed representation of ``nil`` (0) can never collide
@@ -85,6 +93,7 @@ class RuntimeConfig:
     seed: int = 0xC0FFEE
     heap_base: int = 0x1000
     heap_alignment: int = 16
+    worker_pool_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -92,6 +101,10 @@ class RuntimeConfig:
         if self.tasks_per_locale < 1:
             raise ValueError(
                 f"tasks_per_locale must be >= 1, got {self.tasks_per_locale}"
+            )
+        if self.worker_pool_size is not None and self.worker_pool_size < 1:
+            raise ValueError(
+                f"worker_pool_size must be >= 1, got {self.worker_pool_size}"
             )
         if self.heap_alignment < 2 or (
             self.heap_alignment & (self.heap_alignment - 1)
@@ -111,3 +124,9 @@ class RuntimeConfig:
     def uses_network_atomics(self) -> bool:
         """True when 64-bit atomics ride the NIC (the `ugni` behaviour)."""
         return self.network is NetworkType.UGNI
+
+    def resolved_worker_pool_size(self) -> int:
+        """The effective worker-pool bound (default: ``max(2, cpu_count)``)."""
+        if self.worker_pool_size is not None:
+            return self.worker_pool_size
+        return max(2, os.cpu_count() or 1)

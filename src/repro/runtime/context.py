@@ -17,7 +17,7 @@ import contextlib
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from ..errors import NoTaskContextError
 from .clock import TaskClock
@@ -47,6 +47,11 @@ class TaskContext:
     rng:
         Task-private PRNG seeded from the runtime seed and ``task_id`` so
         workloads are reproducible regardless of thread scheduling.
+    diag_rows:
+        Cache of the executing thread's comm-diagnostics stripe (set
+        lazily by the first charged operation).  Valid for the task's
+        whole life because a task runs start-to-finish on one real thread;
+        saves a thread-local lookup on every charged operation.
     """
 
     runtime: "Runtime"
@@ -54,6 +59,7 @@ class TaskContext:
     clock: TaskClock
     task_id: int
     rng: random.Random = field(default_factory=random.Random)
+    diag_rows: Optional[List[List[int]]] = None
 
     @property
     def here(self) -> int:

@@ -43,6 +43,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 import threading
+import weakref
 from typing import (
     Any,
     Callable,
@@ -58,13 +59,14 @@ from typing import (
 
 from ..atomics.integer import AtomicBool, AtomicInt64, AtomicUInt64
 from ..atomics.wide import AtomicWide128
+from ..comm.counters import CommOp
 from ..errors import LocaleError, NoTaskContextError, RuntimeStateError
 from ..memory.address import NIL, GlobalAddress, is_nil
 from ..memory.heap import Heap
 from .clock import TaskClock
 from .config import NetworkType, RuntimeConfig
 from .context import TaskContext, context_scope, current_context, maybe_context
-from .tasking import TaskGroup, spawn_tree_overhead
+from .tasking import TaskGroup, WorkerPool, spawn_tree_overhead
 
 T = TypeVar("T")
 
@@ -141,6 +143,13 @@ class Runtime:
         self._task_id_lock = threading.Lock()
         self._privatized: List[Any] = []
         self._privatized_lock = threading.Lock()
+        # Persistent worker pool: created lazily on first spawn, reused by
+        # every coforall/forall, torn down on close() or GC (the finalizer
+        # must not reference `self`, or the runtime could never be
+        # collected and pool threads would leak across benchmark sweeps).
+        self._pool: Optional[WorkerPool] = None
+        self._pool_init_lock = threading.Lock()
+        self._pool_finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -165,6 +174,40 @@ class Runtime:
     def _next_task_id(self) -> int:
         with self._task_id_lock:
             return next(self._task_ids)
+
+    # ------------------------------------------------------------------
+    # worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _worker_pool(self) -> WorkerPool:
+        """The runtime's persistent task pool (lazily created, then reused)."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_init_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = WorkerPool(self.config.resolved_worker_pool_size())
+                    self._pool_finalizer = weakref.finalize(
+                        self, WorkerPool.shutdown, pool
+                    )
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; implied by GC).
+
+        Call between sweep points, or rely on the garbage-collection
+        finalizer — pool threads are daemons either way, so forgetting to
+        close never hangs interpreter exit.
+        """
+        fin = self._pool_finalizer
+        if fin is not None:
+            fin()
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # privatization registry (Chapel's privatized-object table)
@@ -359,7 +402,7 @@ class Runtime:
         for lid in ids:
             self.locale(lid)
             if lid != ctx.locale_id:
-                self.network.diags.record(ctx.locale_id, "fork")
+                self.network.diags.record(ctx.locale_id, CommOp.FORK)
             group.spawn(body, (lid,), locale_id=lid, start_time=ctx.clock.now + overhead)
         finish = group.join()
         ctx.clock.advance_to(finish)
@@ -400,9 +443,19 @@ class Runtime:
         nloc = self.num_locales
 
         per_locale: List[List[T]] = [[] for _ in range(nloc)]
-        for idx, item in enumerate(data):
-            owner = owner_of(item, idx) if owner_of else idx % nloc
-            per_locale[self.locale(owner).id].append(item)
+        if owner_of is None:
+            # Cyclic distribution without the per-item validation call —
+            # idx % nloc is a valid locale id by construction, and large
+            # iteration spaces make this loop itself measurable.
+            for idx, item in enumerate(data):
+                per_locale[idx % nloc].append(item)
+        else:
+            for idx, item in enumerate(data):
+                owner = owner_of(item, idx)
+                if 0 <= owner < nloc:
+                    per_locale[owner].append(item)
+                else:
+                    per_locale[self.locale(owner).id].append(item)
 
         costs = self.config.costs
         total_tasks = sum(

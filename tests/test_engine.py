@@ -1,0 +1,370 @@
+"""Execution-engine tests: pool lifecycle, route tables, striped counters.
+
+Covers the engine-overhaul invariants:
+
+* ``ServicePoint`` idle-bank edge cases (arrival exactly at the tail,
+  zero-service requests, bank exactly consumed) and the ``serve`` /
+  ``serve_locked`` equivalence the one-lock-cycle cell design relies on.
+* Virtual-time determinism: seeded workloads produce bit-identical
+  ``timed()`` results and comm totals run-to-run and across worker-pool
+  sizes (the "independent of real-thread scheduling" contract).
+* Worker-pool behaviour: lazy creation, thread reuse across constructs,
+  bounded growth, join-helping for nested fork/join, teardown on close.
+* Diagnostics: exact counts under concurrency (striping), the stopped
+  fast path, and single-point rejection of unknown op names.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.comm.counters import CommDiagnostics, CommOp
+from repro.core.epoch_manager import EpochManagerStats
+from repro.runtime import Runtime, RuntimeConfig, ServicePoint
+from repro.bench.workloads import run_atomic_mix, run_epoch_workload
+from repro.errors import RuntimeStateError
+
+
+# ---------------------------------------------------------------------------
+# ServicePoint idle-bank edges
+# ---------------------------------------------------------------------------
+
+
+class TestServicePointEdges:
+    def test_arrival_exactly_at_next_free_banks_nothing(self):
+        sp = ServicePoint("x")
+        assert sp.serve(0.0, 2.0) == 2.0
+        # Arrival == next_free: no idle gap to bank, runs immediately.
+        assert sp.serve(2.0, 1.0) == 3.0
+        assert sp.idle_bank == 0.0
+        assert sp.next_free == 3.0
+
+    def test_zero_service_request_is_free_but_counted(self):
+        sp = ServicePoint("x")
+        assert sp.serve(5.0, 0.0) == 5.0
+        assert sp.served == 1
+        assert sp.busy_time == 0.0
+        # The pre-arrival idle time was banked.
+        assert sp.idle_bank == 5.0
+        # A zero-service request behind the tail completes at its arrival.
+        sp2 = ServicePoint("y")
+        sp2.serve(0.0, 4.0)  # tail at 4
+        assert sp2.serve(1.0, 0.0) == 1.0
+
+    def test_bank_exactly_equals_service_consumes_bank_not_tail(self):
+        sp = ServicePoint("x")
+        sp.serve(3.0, 1.0)  # banks 3 idle seconds, tail at 4
+        assert sp.idle_bank == 3.0
+        # Early arrival wanting exactly the banked capacity: fits in the
+        # past gap, tail untouched, bank drained to zero.
+        assert sp.serve(0.0, 3.0) == 3.0
+        assert sp.idle_bank == 0.0
+        assert sp.next_free == 4.0
+
+    def test_bank_deficit_queues_only_the_remainder(self):
+        sp = ServicePoint("x")
+        sp.serve(2.0, 1.0)  # bank 2, tail 3
+        # Early arrival needing 5: 2 from the bank, 3 queued at the tail.
+        finish = sp.serve(0.0, 5.0)
+        assert finish == 6.0  # tail 3 + deficit 3
+        assert sp.idle_bank == 0.0
+        assert sp.next_free == 6.0
+
+    def test_saturated_finish_never_precedes_arrival_plus_service(self):
+        sp = ServicePoint("x")
+        sp.serve(0.0, 1.0)  # tail 1, no bank
+        finish = sp.serve(10.0, 2.0)
+        assert finish == 12.0  # not 3.0: capacity after the gap is banked
+        # ... and a follow-up early arrival can use that banked gap.
+        assert sp.idle_bank == 9.0
+
+    def test_serve_locked_equals_serve(self):
+        a, b = ServicePoint("a"), ServicePoint("b")
+        seq = [(0.0, 2.0), (2.0, 1.0), (1.0, 3.0), (9.0, 0.5), (4.0, 2.0)]
+        for arrival, service in seq:
+            ra = a.serve(arrival, service)
+            with b._lock:
+                rb = b.serve_locked(arrival, service)
+            assert ra == rb
+        assert (a.next_free, a.idle_bank, a.busy_time, a.served) == (
+            b.next_free,
+            b.idle_bank,
+            b.busy_time,
+            b.served,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Virtual-time determinism across runs and pool sizes
+# ---------------------------------------------------------------------------
+
+
+def _fig3_sample(pool_size):
+    cfg = RuntimeConfig(
+        num_locales=4, network="ugni", tasks_per_locale=2, worker_pool_size=pool_size
+    )
+    rt = Runtime(config=cfg)
+    try:
+        res = run_atomic_mix(rt, kind="atomic_int", ops_per_task=256, tasks_per_locale=2)
+        return res.elapsed, res.comm
+    finally:
+        rt.close()
+
+
+def _fig7_sample(pool_size):
+    cfg = RuntimeConfig(
+        num_locales=4, network="ugni", tasks_per_locale=1, worker_pool_size=pool_size
+    )
+    rt = Runtime(config=cfg)
+    try:
+        res = run_epoch_workload(
+            rt,
+            ops_per_task=256,
+            tasks_per_locale=1,
+            delete=False,
+            reclaim_every=None,
+            cleanup_at_end=False,
+        )
+        return res.elapsed, res.comm
+    finally:
+        rt.close()
+
+
+class TestVirtualTimeDeterminism:
+    def test_fig3_identical_across_runs(self):
+        assert _fig3_sample(2) == _fig3_sample(2)
+
+    def test_fig3_independent_of_pool_size(self):
+        assert _fig3_sample(1) == _fig3_sample(3)
+
+    def test_fig7_identical_across_runs(self):
+        assert _fig7_sample(2) == _fig7_sample(2)
+
+    def test_fig7_independent_of_pool_size(self):
+        assert _fig7_sample(1) == _fig7_sample(4)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_pool_created_lazily(self):
+        rt = Runtime(num_locales=2, network="none")
+        assert rt._pool is None
+        rt.run(lambda: rt.forall(range(4), lambda i: None))
+        assert rt._pool is not None
+        rt.close()
+
+    def test_threads_reused_and_bounded_across_constructs(self):
+        cfg = RuntimeConfig(num_locales=4, network="none", worker_pool_size=2)
+        rt = Runtime(config=cfg)
+
+        def main():
+            for _ in range(10):
+                rt.coforall_locales(lambda lid: None)
+                rt.forall(range(32), lambda i: None)
+
+        rt.run(main)
+        pool = rt._pool
+        assert pool is not None
+        assert pool.thread_count <= 2
+        rt.close()
+
+    def test_close_shuts_down_pool_and_is_idempotent(self):
+        rt = Runtime(num_locales=2, network="none")
+        rt.run(lambda: rt.forall(range(4), lambda i: None))
+        pool = rt._pool
+        rt.close()
+        assert pool.is_shutdown
+        rt.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        with Runtime(num_locales=2, network="none") as rt:
+            rt.run(lambda: rt.forall(range(4), lambda i: None))
+            pool = rt._pool
+        assert pool.is_shutdown
+
+    def test_nested_coforall_completes_on_single_worker(self):
+        """Join-helping: nested fork/join can't deadlock a bounded pool."""
+        cfg = RuntimeConfig(num_locales=4, network="none", worker_pool_size=1)
+        rt = Runtime(config=cfg)
+        hits = []
+        lock = threading.Lock()
+
+        def inner(lid):
+            with lock:
+                hits.append(lid)
+
+        def outer(lid):
+            rt.coforall_locales(inner)
+
+        rt.run(lambda: rt.coforall_locales(outer))
+        assert len(hits) == 16  # 4 outer x 4 inner
+        rt.close()
+
+    def test_nested_exception_propagates_through_pool(self):
+        cfg = RuntimeConfig(num_locales=2, network="none", worker_pool_size=1)
+        rt = Runtime(config=cfg)
+
+        def inner(lid):
+            if lid == 1:
+                raise KeyError("inner boom")
+
+        def outer(lid):
+            rt.coforall_locales(inner)
+
+        with pytest.raises(KeyError):
+            rt.run(lambda: rt.coforall_locales(outer))
+        rt.close()
+
+    def test_worker_pool_size_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(num_locales=2, worker_pool_size=0)
+        assert RuntimeConfig(num_locales=2).resolved_worker_pool_size() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Striped diagnostics & stats
+# ---------------------------------------------------------------------------
+
+
+class TestStripedDiagnostics:
+    def test_unknown_op_rejected_in_one_place(self):
+        diags = CommDiagnostics(2)
+        with pytest.raises(ValueError):
+            diags.record(0, "teleport")
+        with pytest.raises(ValueError):
+            CommDiagnostics.op_index("teleport")
+        with pytest.raises(ValueError):
+            diags.total("teleport")
+
+    def test_stopped_record_is_a_noop_without_validation(self):
+        """stop() gates the record path before any work (satellite #1)."""
+        diags = CommDiagnostics(2)
+        diags.stop()
+        diags.record(0, CommOp.GET)
+        diags.record(0, "not-an-op")  # dropped before name resolution
+        assert diags.totals()["get"] == 0
+        diags.start()
+        diags.record(0, CommOp.GET)
+        assert diags.totals()["get"] == 1
+
+    def test_concurrent_records_are_exact(self):
+        """Per-thread striping loses no increments under contention."""
+        diags = CommDiagnostics(1)
+        n_threads, per_thread = 8, 5000
+
+        def hammer():
+            for _ in range(per_thread):
+                diags.record(0, CommOp.AMO)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert diags.totals()["amo"] == n_threads * per_thread
+        assert diags.total(CommOp.AMO) == n_threads * per_thread
+
+    def test_bulk_bytes_accumulate(self):
+        diags = CommDiagnostics(1)
+        diags.record(0, CommOp.BULK, nbytes=100)
+        diags.record(0, CommOp.BULK, nbytes=28)
+        t = diags.totals()
+        assert t["bulk"] == 2 and t["bulk_bytes"] == 128
+
+    def test_reset_zeroes_all_stripes(self):
+        diags = CommDiagnostics(2)
+        diags.record(1, CommOp.PUT)
+        other = threading.Thread(target=lambda: diags.record(0, CommOp.GET))
+        other.start()
+        other.join()
+        diags.reset()
+        assert all(v == 0 for v in diags.totals().values())
+
+    def test_fork_diagnostic_uses_symbolic_op(self):
+        """coforall records CommOp.FORK (satellite #2 regression guard)."""
+        rt = Runtime(num_locales=3, network="none")
+        rt.run(lambda: rt.coforall_locales(lambda lid: None))
+        assert rt.comm_totals()["fork"] == 2  # both non-initiating locales
+        rt.close()
+
+
+class TestStripedEpochStats:
+    def test_concurrent_incs_are_exact_and_readable_as_attributes(self):
+        stats = EpochManagerStats()
+        n_threads, per_thread = 6, 4000
+
+        def bump():
+            for _ in range(per_thread):
+                stats.inc("reclaim_attempts")
+            stats.inc("objects_reclaimed", 7)
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.reclaim_attempts == n_threads * per_thread
+        assert stats.objects_reclaimed == 7 * n_threads
+        d = stats.as_dict()
+        assert d["reclaim_attempts"] == n_threads * per_thread
+        assert d["advances"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Route precompilation
+# ---------------------------------------------------------------------------
+
+
+class TestRoutePrecompilation:
+    def test_route_tables_cached_per_home(self):
+        rt = Runtime(num_locales=2, network="ugni")
+        t0 = rt.network.atomic_route_table(0)
+        assert rt.network.atomic_route_table(0) is t0
+        assert rt.network.atomic_route_table(1) is not t0
+        rt.close()
+
+    def test_wrapper_atomic_op_matches_cell_charge(self):
+        """The branchy reference wrapper and the cell fast path agree."""
+        rt_a = Runtime(num_locales=2, network="ugni")
+        rt_b = Runtime(num_locales=2, network="ugni")
+
+        def cost_cell(rt):
+            cell = rt.atomic_uint(0, locale=1)
+
+            def main():
+                with rt.timed() as t:
+                    cell.read()
+                return t.elapsed
+
+            return rt.run(main)
+
+        def cost_wrapper(rt):
+            cell = rt.atomic_uint(0, locale=1)
+
+            def main():
+                from repro.runtime.context import current_context
+
+                ctx = current_context()
+                with rt.timed() as t:
+                    rt.network.atomic_op(ctx, cell.home, cell.line)
+                return t.elapsed
+
+            return rt.run(main)
+
+        assert cost_cell(rt_a) == cost_wrapper(rt_b)
+        assert rt_a.comm_totals() == rt_b.comm_totals()
+        rt_a.close()
+        rt_b.close()
+
+    def test_spawn_after_pool_shutdown_raises(self):
+        rt = Runtime(num_locales=2, network="none")
+        rt.run(lambda: rt.forall(range(2), lambda i: None))
+        rt.close()
+        with pytest.raises(RuntimeStateError):
+            rt.run(lambda: rt.forall(range(2), lambda i: None))
