@@ -88,7 +88,6 @@ def test_ablation_election(benchmark):
     series = {s.name: s.values for s in panel.series}
     for el, noel in zip(series["election"], series["no election"]):
         assert el < noel
-    ratio_small = series["no election"][0] / series["election"][0]
     ratio_large = series["no election"][-1] / series["election"][-1]
     assert ratio_large > 1.5, f"election saved too little at scale: {series}"
 

@@ -12,7 +12,6 @@ Paper series and the shape expectations we assert alongside timing:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.figures import figure3_distributed, figure3_shared
 

@@ -10,7 +10,7 @@ reproduction data alongside the harness wall times.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import pytest
 

@@ -25,7 +25,7 @@ rt = Runtime(num_locales=1, network="none")
 def provoke_plain_cas() -> None:
     """Drive the classic interleaving against a plain-CAS stack."""
     stack = LockFreeStack(rt, aba_protection=False, unsafe_free=True)
-    a = stack.push("A")
+    stack.push("A")
     stack.push("B")  # head -> B -> A
 
     # τ1 reads the head (address of B) and stalls before its CAS.

@@ -18,7 +18,7 @@ earns its keep.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Tuple
 
 from .cell import AtomicCell
 

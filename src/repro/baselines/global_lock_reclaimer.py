@@ -19,7 +19,7 @@ Two deliberate weaknesses, both measured by the ablation benchmark:
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List
 
 from ..atomics.integer import AtomicInt64
 from ..memory.address import GlobalAddress

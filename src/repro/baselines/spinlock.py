@@ -15,7 +15,7 @@ actual mutual exclusion for the protected Python state.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any
 
 from ..atomics.integer import AtomicBool
 from ..runtime.context import maybe_context

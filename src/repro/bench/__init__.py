@@ -3,8 +3,13 @@
 Entry points:
 
 * ``python -m repro.bench --figure all`` — print every figure's series.
+* ``python -m repro.bench scenarios --list/--run/--all`` — the declarative
+  scenario engine (docs/SCENARIOS.md).
 * :mod:`repro.bench.figures` — programmatic drivers (used by the pytest
-  benchmarks under ``benchmarks/``).
+  benchmarks under ``benchmarks/``), thin wrappers over registered
+  scenarios.
+* :mod:`repro.bench.scenarios` — scenario specs, registry, parallel grid
+  runner, regression baselines.
 * :mod:`repro.bench.ablations` — the design-choice ablations from
   DESIGN.md Section 6.
 * :mod:`repro.bench.workloads` — the underlying workload generators.
@@ -27,8 +32,31 @@ from .figures import (
     figure7,
 )
 from .report import Panel, Series, render_figure, render_panel
+from .scenarios import (
+    MeasureSpec,
+    ScenarioError,
+    ScenarioRun,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_report,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    run_scenario,
+    run_scenario_grid,
+    scenario_names,
+)
 from .sweep import Sweep, SweepRow
-from .workloads import WorkloadResult, run_atomic_mix, run_epoch_workload
+from .workloads import (
+    WorkloadResult,
+    run_atomic_hotspot,
+    run_atomic_mix,
+    run_epoch_mixed,
+    run_epoch_workload,
+    run_multi_structure,
+    run_producer_consumer,
+)
 
 __all__ = [
     "figure3_shared",
@@ -52,4 +80,22 @@ __all__ = [
     "WorkloadResult",
     "run_atomic_mix",
     "run_epoch_workload",
+    "run_atomic_hotspot",
+    "run_epoch_mixed",
+    "run_producer_consumer",
+    "run_multi_structure",
+    # scenarios
+    "ScenarioError",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "MeasureSpec",
+    "ScenarioRun",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "run_scenario",
+    "run_scenario_grid",
+    "build_report",
 ]

@@ -1,6 +1,6 @@
-"""CLI: regenerate the paper's figures (and the ablations) as text tables.
+"""CLI: the paper's figures, the ablations, and the scenario engine.
 
-Usage::
+Figure mode (the default)::
 
     python -m repro.bench --figure 3a          # Figure 3 shared-memory panel
     python -m repro.bench --figure 4           # Figure 4 (all three panels)
@@ -11,6 +11,20 @@ Usage::
 ``--ops`` scales per-task operation counts (virtual seconds scale linearly;
 shapes are invariant).  ``--max-locales`` truncates the locale axis for
 quick runs.
+
+Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
+
+    python -m repro.bench scenarios --list
+    python -m repro.bench scenarios --run hotspot-zipf queue-churn
+    python -m repro.bench scenarios --all --jobs 4 --out report.json
+    python -m repro.bench scenarios --all --update-baselines
+    python -m repro.bench scenarios --spec my_scenario.toml
+
+``--run`` executes named scenarios (in parallel when ``--jobs`` > 1),
+writes a JSON report with virtual-time results and per-scenario regression
+verdicts against ``benchmarks/scenario_baselines.json``, and exits
+non-zero on any ``drift`` — virtual time is deterministic, so drift means
+behaviour changed.
 """
 
 from __future__ import annotations
@@ -19,21 +33,169 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Dict, List, Sequence
 
-from . import ablations, figures
+from . import ablations, figures, scenarios
 from .report import Panel, render_figure
 
 #: Figure ids accepted by --figure.
 FIGURES = ("3a", "3b", "4", "5", "6", "7", "ablations", "all")
+
+#: Default location of the scenario regression baselines.
+DEFAULT_BASELINES = Path(__file__).resolve().parents[3] / "benchmarks" / "scenario_baselines.json"
 
 
 def _locales(max_locales: int, base: Sequence[int]) -> List[int]:
     return [x for x in base if x <= max_locales]
 
 
+def scenario_main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point for ``python -m repro.bench scenarios ...``."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench scenarios",
+        description="List and run declarative benchmark scenarios.",
+    )
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--list", action="store_true", help="list registered scenarios")
+    mode.add_argument(
+        "--run", nargs="+", metavar="NAME", help="run the named scenario(s)"
+    )
+    mode.add_argument("--all", action="store_true", help="run every registered scenario")
+    mode.add_argument(
+        "--spec",
+        metavar="PATH",
+        help="run one scenario from a TOML spec file (not the registry)",
+    )
+    ap.add_argument(
+        "--jobs", type=int, default=None, help="parallel scenario runs (default: min(n, 4))"
+    )
+    ap.add_argument(
+        "--ops-scale",
+        type=float,
+        default=None,
+        help="scale every per-task operation count (quick passes; baseline"
+        " comparisons report 'incomparable')",
+    )
+    ap.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="run each scenario N times and verify bit-identical virtual results",
+    )
+    ap.add_argument(
+        "--out",
+        metavar="PATH",
+        default="scenario_report.json",
+        help="where to write the JSON report (default: scenario_report.json)",
+    )
+    ap.add_argument(
+        "--baselines",
+        metavar="PATH",
+        default=str(DEFAULT_BASELINES),
+        help="regression-baselines JSON (default: benchmarks/scenario_baselines.json)",
+    )
+    ap.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="write the run's virtual results back as the new baselines",
+    )
+    args = ap.parse_args(argv)
+
+    if args.update_baselines and args.ops_scale is not None and args.ops_scale != 1.0:
+        ap.error("--update-baselines cannot be combined with --ops-scale")
+
+    if args.list:
+        print(f"{len(scenarios.scenario_names())} registered scenarios:\n")
+        for spec in scenarios.iter_scenarios():
+            topo = spec.topology
+            line = (
+                f"  {spec.name:24s} {spec.workload.kind:16s}"
+                f" {topo.locales:>3d}x{topo.tasks_per_locale} {topo.network:5s}"
+            )
+            if topo.cost_profile != "default":
+                line += f" [{topo.cost_profile}]"
+            print(line)
+            if spec.description:
+                print(f"      {spec.description}")
+        return 0
+
+    if args.spec:
+        specs = [scenarios.ScenarioSpec.from_toml(args.spec)]
+    elif args.all:
+        specs = list(scenarios.iter_scenarios())
+    else:
+        specs = [scenarios.get_scenario(name) for name in args.run]
+
+    if args.ops_scale is not None:
+        specs = [s.with_measure(ops_scale=args.ops_scale) for s in specs]
+    if args.repeats is not None:
+        specs = [s.with_measure(repeats=args.repeats) for s in specs]
+
+    t0 = time.time()
+
+    def progress(run: scenarios.ScenarioRun) -> None:
+        print(
+            f"  {run.spec.name:24s} elapsed={run.result.elapsed:.6g}s"
+            f" ops={run.result.operations}"
+            f" (wall {run.wall_seconds:.2f}s)"
+        )
+        sys.stdout.flush()
+
+    print(f"running {len(specs)} scenario(s)...")
+    runs = scenarios.run_scenario_grid(specs, jobs=args.jobs, progress=progress)
+
+    scaled = any(r.spec.measure.ops_scale != 1.0 for r in runs)
+    baselines = scenarios.load_baselines(args.baselines)
+    if not baselines and not args.update_baselines:
+        print(
+            f"note: no baselines found at {args.baselines} — every scenario"
+            " will report 'new' and drift cannot be detected"
+        )
+    report = scenarios.build_report(runs, baselines=baselines)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"(report written to {args.out}; total wall {time.time() - t0:.1f}s)")
+
+    if args.update_baselines:
+        if scaled:
+            print("refusing to --update-baselines from an --ops-scale run")
+            return 2
+        # Merge into the existing entries: a partial run (--run NAME,
+        # --spec) must not discard the baselines of scenarios that did
+        # not execute this time.
+        merged = dict(baselines)
+        merged.update({r.spec.name: scenarios.baseline_entry(r) for r in runs})
+        doc = {
+            "schema": 1,
+            "note": "virtual-time regression baselines; regenerate with"
+            " `python -m repro.bench scenarios --all --update-baselines`",
+            "scenarios": merged,
+        }
+        with open(args.baselines, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(
+            f"(baselines for {len(runs)} scenario(s) merged into"
+            f" {args.baselines})"
+        )
+        return 0
+
+    drifted = [
+        name
+        for name, entry in report["scenarios"].items()
+        if entry.get("regression", {}).get("status") == "drift"
+    ]
+    if drifted:
+        print(f"REGRESSION: virtual results drifted for {drifted}")
+        return 1
+    return 0
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     """Entry point for ``python -m repro.bench``."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "scenarios":
+        return scenario_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures on the simulated PGAS runtime.",

@@ -23,11 +23,10 @@ from typing import List, Sequence
 from ..baselines.global_lock_reclaimer import GlobalLockReclaimer
 from ..core.atomic_object import AtomicObject
 from ..core.epoch_manager import EpochManager
-from ..core.local_epoch_manager import LocalEpochManager
 from ..core.privatization import UnprivatizedProxy
 from ..runtime.runtime import Runtime
 from .report import Panel
-from .workloads import run_atomic_mix, run_epoch_workload
+from .workloads import run_epoch_workload
 
 __all__ = [
     "ablation_compression",

@@ -1,11 +1,17 @@
 """Figure drivers: regenerate every plot in the paper's evaluation.
 
-Each ``figure_*`` function sweeps the paper's parameter grid, executes the
-matching workload on a fresh runtime per point, and returns
+Each ``figure_*`` function sweeps the paper's parameter grid and returns
 :class:`~repro.bench.report.Panel` objects whose series correspond one to
 one with the lines in the paper's plots.  The CLI (``python -m
 repro.bench``) and the pytest-benchmark entry points under ``benchmarks/``
 both drive these functions; EXPERIMENTS.md records their output.
+
+Since the scenario engine landed, the drivers here are *thin wrappers*
+over registered scenario specs (:mod:`repro.bench.scenarios`): each grid
+point derives the paper base scenario (``paper-atomic-mix`` or
+``paper-reclaim-endonly``) with the point's topology and workload
+parameters and hands it to :func:`~repro.bench.scenarios.run_scenario` —
+one engine serves the paper's grid and every new scenario alike.
 
 Scale note: ``ops_per_task`` defaults keep a full figure under a few
 minutes of wall time on a laptop; the *virtual* seconds reported scale
@@ -14,12 +20,10 @@ linearly with it, so curve shapes (the reproduction target) are unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..runtime.config import NetworkType
-from ..runtime.runtime import Runtime
 from .report import Panel
-from .workloads import run_atomic_mix, run_epoch_workload
+from .scenarios import get_scenario, run_scenario
 
 __all__ = [
     "DEFAULT_SHARED_TASKS",
@@ -41,13 +45,23 @@ DEFAULT_LOCALES: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_EPOCH_LOCALES: Sequence[int] = (2, 4, 8, 16, 32, 64)
 
 
-def _runtime(num_locales: int, network: str, tasks_per_locale: int, seed: int = 0xC0FFEE) -> Runtime:
-    return Runtime(
-        num_locales=num_locales,
-        network=network,
-        tasks_per_locale=tasks_per_locale,
-        seed=seed,
+def _point_elapsed(
+    base: str,
+    *,
+    locales: int,
+    network: str,
+    tasks_per_locale: int,
+    **workload: Any,
+) -> float:
+    """Virtual seconds for one grid point derived from a base scenario."""
+    spec = (
+        get_scenario(base)
+        .with_topology(
+            locales=locales, network=network, tasks_per_locale=tasks_per_locale
+        )
+        .with_workload(**workload)
     )
+    return run_scenario(spec).result.elapsed
 
 
 # ---------------------------------------------------------------------------
@@ -80,11 +94,16 @@ def figure3_shared(
     for ntasks in tasks:
         ops_per_task = max(1, total_ops // ntasks)
         for label, kind in kinds.items():
-            rt = _runtime(1, "none", tasks_per_locale=ntasks)
-            res = run_atomic_mix(
-                rt, kind=kind, ops_per_task=ops_per_task, tasks_per_locale=ntasks
+            series[label].append(
+                _point_elapsed(
+                    "paper-atomic-mix",
+                    locales=1,
+                    network="none",
+                    tasks_per_locale=ntasks,
+                    cell=kind,
+                    ops_per_task=ops_per_task,
+                )
             )
-            series[label].append(res.elapsed)
     for label, vals in series.items():
         panel.add(label, vals)
     return panel
@@ -116,14 +135,16 @@ def figure3_distributed(
     for label, kind, network in specs:
         vals: List[float] = []
         for nloc in locales:
-            rt = _runtime(nloc, network, tasks_per_locale)
-            res = run_atomic_mix(
-                rt,
-                kind=kind,
-                ops_per_task=ops_per_task,
-                tasks_per_locale=tasks_per_locale,
+            vals.append(
+                _point_elapsed(
+                    "paper-atomic-mix",
+                    locales=nloc,
+                    network=network,
+                    tasks_per_locale=tasks_per_locale,
+                    cell=kind,
+                    ops_per_task=ops_per_task,
+                )
             )
-            vals.append(res.elapsed)
         panel.add(label, vals)
     return panel
 
@@ -157,17 +178,19 @@ def figure_epoch_deletion(
         for network in ("none", "ugni"):
             vals: List[float] = []
             for nloc in locales:
-                rt = _runtime(nloc, network, tasks_per_locale)
-                res = run_epoch_workload(
-                    rt,
-                    ops_per_task=ops_per_task,
-                    tasks_per_locale=tasks_per_locale,
-                    remote_percent=rp,
-                    delete=True,
-                    reclaim_every=reclaim_every,
-                    cleanup_at_end=True,
+                vals.append(
+                    _point_elapsed(
+                        "paper-reclaim-endonly",
+                        locales=nloc,
+                        network=network,
+                        tasks_per_locale=tasks_per_locale,
+                        ops_per_task=ops_per_task,
+                        remote_percent=rp,
+                        delete=True,
+                        reclaim_every=reclaim_every,
+                        cleanup_at_end=True,
+                    )
                 )
-                vals.append(res.elapsed)
             panel.add(network, vals)
         panels.append(panel)
     return panels
@@ -217,15 +240,18 @@ def figure7(
     for network in ("none", "ugni"):
         vals: List[float] = []
         for nloc in locales:
-            rt = _runtime(nloc, network, tasks_per_locale)
-            res = run_epoch_workload(
-                rt,
-                ops_per_task=ops_per_task,
-                tasks_per_locale=tasks_per_locale,
-                delete=False,
-                reclaim_every=None,
-                cleanup_at_end=False,
+            vals.append(
+                _point_elapsed(
+                    "paper-reclaim-endonly",
+                    locales=nloc,
+                    network=network,
+                    tasks_per_locale=tasks_per_locale,
+                    ops_per_task=ops_per_task,
+                    remote_percent=0,
+                    delete=False,
+                    reclaim_every=None,
+                    cleanup_at_end=False,
+                )
             )
-            vals.append(res.elapsed)
         panel.add(network, vals)
     return panel

@@ -9,7 +9,7 @@ runs and to paste into EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 __all__ = ["Series", "Panel", "render_panel", "render_figure"]
 

@@ -1,0 +1,893 @@
+"""Declarative workload scenarios: specs, a registry, and a grid runner.
+
+The paper evaluates its designs over one fixed grid (five microbenchmarks
+x two network flavours x one locale axis).  This module opens that grid
+up: a **scenario** is a small declarative description — loadable from a
+dict or a TOML file — of
+
+* a *topology*: locale count, network flavour, cost profile/scale/
+  overrides, tasks per locale, seed;
+* a *workload shape*: one of the generators in
+  :mod:`repro.bench.workloads`, with validated parameters;
+* *measurement knobs*: an operation-count scale for quick passes and a
+  repeat count that doubles as a determinism self-check.
+
+Named scenarios live in a registry (see :func:`scenario_names`); the
+built-ins go well beyond the paper's figures — Zipf-skewed hotspot
+atomics, mixed pin/deferDelete ratios, producer-consumer churn over the
+queue and stack, combined multi-structure traffic, and degraded-network
+profiles.  ``python -m repro.bench scenarios {--list,--run,--all}`` is the
+CLI; :func:`run_scenario_grid` executes many scenarios in parallel (one
+worker-pool runtime per point) and :func:`build_report` aggregates the
+results into a JSON document with per-scenario regression baselines.
+
+Determinism contract: every *registered* scenario produces virtual-time
+and comm-diagnostic results that are **bit-identical across repeated runs
+and worker-pool sizes** (the engine invariant of docs/ENGINE.md, upheld by
+the generator rules documented in :mod:`repro.bench.workloads`).  The
+runner re-checks this whenever ``measure.repeats > 1``.
+
+Example TOML::
+
+    [scenario]
+    name = "my-hotspot"
+    description = "zipf hotspot on a slow interconnect"
+
+    [topology]
+    locales = 16
+    network = "none"
+    cost_profile = "degraded"
+
+    [workload]
+    kind = "atomic_hotspot"
+    ops_per_task = 4096
+    zipf_exponent = 1.4
+
+    [measure]
+    repeats = 2
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..comm.costs import resolve_cost_model
+from ..errors import ReproError
+from ..runtime.config import NetworkType, RuntimeConfig
+from ..runtime.runtime import Runtime
+from .workloads import (
+    WorkloadResult,
+    run_atomic_hotspot,
+    run_atomic_mix,
+    run_epoch_mixed,
+    run_epoch_workload,
+    run_multi_structure,
+    run_producer_consumer,
+)
+
+try:  # Python 3.11+; scenario TOML loading degrades gracefully without it.
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    _tomllib = None
+
+__all__ = [
+    "ScenarioError",
+    "TopologySpec",
+    "WorkloadSpec",
+    "MeasureSpec",
+    "ScenarioSpec",
+    "ScenarioRun",
+    "WORKLOAD_KINDS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "run_scenario",
+    "run_scenario_grid",
+    "build_report",
+    "load_baselines",
+]
+
+
+class ScenarioError(ReproError):
+    """A scenario spec failed validation or execution."""
+
+
+def _reject_unknown(doc: Mapping[str, Any], allowed: Sequence[str], where: str) -> None:
+    unknown = sorted(set(doc) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"unknown key(s) {unknown} in {where}; allowed keys are"
+            f" {sorted(allowed)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The simulated machine a scenario runs on."""
+
+    locales: int = 8
+    network: str = "ugni"
+    tasks_per_locale: int = 1
+    cost_profile: str = "default"
+    cost_scale: float = 1.0
+    cost_overrides: Tuple[Tuple[str, float], ...] = ()
+    seed: int = 0xC0FFEE
+    worker_pool_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.locales, int) or self.locales < 1:
+            raise ScenarioError(
+                f"topology.locales must be a positive integer, got"
+                f" {self.locales!r}"
+            )
+        if not isinstance(self.tasks_per_locale, int) or self.tasks_per_locale < 1:
+            raise ScenarioError(
+                f"topology.tasks_per_locale must be a positive integer, got"
+                f" {self.tasks_per_locale!r}"
+            )
+        try:
+            net = NetworkType.parse(self.network)
+        except ValueError as exc:
+            raise ScenarioError(f"topology.network: {exc}") from None
+        object.__setattr__(self, "network", net.value)
+        # Normalize a mapping into a hashable tuple of (field, value) pairs.
+        overrides = self.cost_overrides
+        if isinstance(overrides, Mapping):
+            overrides = tuple(sorted(overrides.items()))
+            object.__setattr__(self, "cost_overrides", overrides)
+        # Profile, scale, and override-field validation lives in
+        # resolve_cost_model — run it once here so errors carry the
+        # topology prefix and runtime_config() can never fail later.
+        try:
+            resolve_cost_model(
+                self.cost_profile,
+                scale=self.cost_scale,
+                overrides=dict(overrides),
+            )
+        except ValueError as exc:
+            raise ScenarioError(f"topology cost model: {exc}") from None
+        if self.worker_pool_size is not None and self.worker_pool_size < 1:
+            raise ScenarioError(
+                f"topology.worker_pool_size must be >= 1 or omitted, got"
+                f" {self.worker_pool_size!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
+        _reject_unknown(doc, [f.name for f in fields(cls)], "[topology]")
+        return cls(**doc)
+
+    def runtime_config(self) -> RuntimeConfig:
+        """Materialize as a :class:`RuntimeConfig`."""
+        return RuntimeConfig.from_topology(
+            locales=self.locales,
+            network=self.network,
+            cost_profile=self.cost_profile,
+            cost_scale=self.cost_scale,
+            cost_overrides=dict(self.cost_overrides),
+            tasks_per_locale=self.tasks_per_locale,
+            seed=self.seed,
+            worker_pool_size=self.worker_pool_size,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "locales": self.locales,
+            "network": self.network,
+            "tasks_per_locale": self.tasks_per_locale,
+            "cost_profile": self.cost_profile,
+            "cost_scale": self.cost_scale,
+            "seed": self.seed,
+        }
+        if self.cost_overrides:
+            out["cost_overrides"] = dict(self.cost_overrides)
+        if self.worker_pool_size is not None:
+            out["worker_pool_size"] = self.worker_pool_size
+        return out
+
+
+#: Parameters every workload kind accepts, with defaults, plus which of
+#: them scale under ``measure.ops_scale``.
+@dataclass(frozen=True)
+class _WorkloadKind:
+    runner: Callable[..., WorkloadResult]
+    defaults: Tuple[Tuple[str, Any], ...]
+    scaled: Tuple[str, ...]
+    summary: str
+
+
+def _adapt_atomic_mix(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_atomic_mix(
+        rt,
+        kind=p["cell"],
+        ops_per_task=p["ops_per_task"],
+        tasks_per_locale=tpl,
+        num_cells=p["num_cells"],
+    )
+
+
+def _adapt_hotspot(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_atomic_hotspot(
+        rt,
+        cell=p["cell"],
+        ops_per_task=p["ops_per_task"],
+        tasks_per_locale=tpl,
+        num_cells=p["num_cells"],
+        zipf_exponent=p["zipf_exponent"],
+    )
+
+
+def _adapt_epoch(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_epoch_workload(
+        rt,
+        ops_per_task=p["ops_per_task"],
+        tasks_per_locale=tpl,
+        remote_percent=p["remote_percent"],
+        delete=p["delete"],
+        reclaim_every=p["reclaim_every"],
+        cleanup_at_end=p["cleanup_at_end"],
+    )
+
+
+def _adapt_epoch_mixed(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_epoch_mixed(
+        rt,
+        ops_per_task=p["ops_per_task"],
+        tasks_per_locale=tpl,
+        write_percent=p["write_percent"],
+        remote_percent=p["remote_percent"],
+        rounds=p["rounds"],
+        reclaim_between_rounds=p["reclaim_between_rounds"],
+    )
+
+
+def _adapt_churn(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_producer_consumer(
+        rt,
+        structure=p["structure"],
+        items_per_task=p["items_per_task"],
+        tasks_per_locale=tpl,
+        rounds=p["rounds"],
+        reclaim_between_rounds=p["reclaim_between_rounds"],
+    )
+
+
+def _adapt_multi(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
+    return run_multi_structure(
+        rt,
+        ops_per_slot=p["ops_per_slot"],
+        tasks_per_locale=tpl,
+        rounds=p["rounds"],
+        reclaim_between_rounds=p["reclaim_between_rounds"],
+        hash_buckets=p["hash_buckets"],
+    )
+
+
+WORKLOAD_KINDS: Dict[str, _WorkloadKind] = {
+    "atomic_mix": _WorkloadKind(
+        runner=_adapt_atomic_mix,
+        defaults=(
+            ("cell", "atomic_object"),
+            ("ops_per_task", 2048),
+            ("num_cells", None),
+        ),
+        scaled=("ops_per_task",),
+        summary="Figure 3's 25/25/25/25 read/write/CAS/exchange mix",
+    ),
+    "atomic_hotspot": _WorkloadKind(
+        runner=_adapt_hotspot,
+        defaults=(
+            ("cell", "atomic_int"),
+            ("ops_per_task", 2048),
+            ("num_cells", 64),
+            ("zipf_exponent", 1.2),
+        ),
+        scaled=("ops_per_task",),
+        summary="Zipf-skewed hotspot variant of the atomic mix",
+    ),
+    "epoch": _WorkloadKind(
+        runner=_adapt_epoch,
+        defaults=(
+            ("ops_per_task", 1024),
+            ("remote_percent", 0),
+            ("delete", True),
+            ("reclaim_every", None),
+            ("cleanup_at_end", True),
+        ),
+        scaled=("ops_per_task",),
+        summary="the paper's Listing 5 pin/deferDelete/tryReclaim loop",
+    ),
+    "epoch_mixed": _WorkloadKind(
+        runner=_adapt_epoch_mixed,
+        defaults=(
+            ("ops_per_task", 1024),
+            ("write_percent", 25),
+            ("remote_percent", 0),
+            ("rounds", 2),
+            ("reclaim_between_rounds", True),
+        ),
+        scaled=("ops_per_task",),
+        summary="mixed pin/deferDelete ratio with phased reclamation",
+    ),
+    "churn": _WorkloadKind(
+        runner=_adapt_churn,
+        defaults=(
+            ("structure", "queue"),
+            ("items_per_task", 512),
+            ("rounds", 2),
+            ("reclaim_between_rounds", True),
+        ),
+        scaled=("items_per_task",),
+        summary="producer-consumer churn over MsQueue/TreiberStack",
+    ),
+    "multi_structure": _WorkloadKind(
+        runner=_adapt_multi,
+        defaults=(
+            ("ops_per_slot", 256),
+            ("rounds", 2),
+            ("reclaim_between_rounds", True),
+            ("hash_buckets", 16),
+        ),
+        scaled=("ops_per_slot",),
+        summary="combined stack + queue + hash-table traffic, one manager",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which generator to run, and with what parameters."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ScenarioError(
+                f"workload.kind {self.kind!r} unknown; expected one of"
+                f" {sorted(WORKLOAD_KINDS)}"
+            )
+        params = self.params
+        if isinstance(params, Mapping):
+            params = tuple(sorted(params.items()))
+            object.__setattr__(self, "params", params)
+        allowed = {k for k, _ in WORKLOAD_KINDS[self.kind].defaults}
+        bad = sorted({k for k, _ in params} - allowed)
+        if bad:
+            raise ScenarioError(
+                f"workload kind {self.kind!r} does not accept parameter(s)"
+                f" {bad}; allowed parameters are {sorted(allowed)}"
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "WorkloadSpec":
+        if "kind" not in doc:
+            raise ScenarioError("[workload] requires a 'kind' key")
+        params = {k: v for k, v in doc.items() if k != "kind"}
+        return cls(kind=doc["kind"], params=params)
+
+    def resolved_params(self, ops_scale: float = 1.0) -> Dict[str, Any]:
+        """Defaults merged with overrides, op counts scaled (min 1)."""
+        kind = WORKLOAD_KINDS[self.kind]
+        merged = dict(kind.defaults)
+        merged.update(dict(self.params))
+        if ops_scale != 1.0:
+            for key in kind.scaled:
+                if merged[key] is not None:
+                    merged[key] = max(1, int(round(merged[key] * ops_scale)))
+        return merged
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        out.update(dict(self.params))
+        return out
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """Measurement knobs: quick-pass scaling and repeat verification."""
+
+    ops_scale: float = 1.0
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.ops_scale, (int, float))
+            or isinstance(self.ops_scale, bool)
+            or self.ops_scale <= 0
+        ):
+            raise ScenarioError(
+                f"measure.ops_scale must be a positive number, got"
+                f" {self.ops_scale!r}"
+            )
+        if not isinstance(self.repeats, int) or self.repeats < 1:
+            raise ScenarioError(
+                f"measure.repeats must be a positive integer, got"
+                f" {self.repeats!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "MeasureSpec":
+        _reject_unknown(doc, [f.name for f in fields(cls)], "[measure]")
+        return cls(**doc)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"ops_scale": self.ops_scale, "repeats": self.repeats}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-described benchmark scenario."""
+
+    name: str
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=lambda: WorkloadSpec("atomic_mix"))
+    measure: MeasureSpec = field(default_factory=MeasureSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError(f"scenario name must be a non-empty string, got {self.name!r}")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ScenarioSpec":
+        """Parse the nested dict form (the shape TOML produces)."""
+        _reject_unknown(
+            doc, ["scenario", "topology", "workload", "measure"], "scenario document"
+        )
+        head = doc.get("scenario", {})
+        _reject_unknown(head, ["name", "description"], "[scenario]")
+        if "name" not in head:
+            raise ScenarioError("[scenario] requires a 'name' key")
+        if "workload" not in doc:
+            raise ScenarioError("scenario document requires a [workload] table")
+        return cls(
+            name=head["name"],
+            description=head.get("description", ""),
+            topology=TopologySpec.from_dict(doc.get("topology", {})),
+            workload=WorkloadSpec.from_dict(doc["workload"]),
+            measure=MeasureSpec.from_dict(doc.get("measure", {})),
+        )
+
+    @classmethod
+    def from_toml(cls, text_or_path: str) -> "ScenarioSpec":
+        """Parse a scenario from TOML text or a ``.toml`` file path.
+
+        Requires :mod:`tomllib` (Python 3.11+); on older interpreters a
+        :class:`ScenarioError` explains the constraint rather than
+        crashing at import time.
+        """
+        if _tomllib is None:  # pragma: no cover - 3.10 only
+            raise ScenarioError(
+                "TOML scenario files require Python 3.11+ (tomllib);"
+                " use ScenarioSpec.from_dict instead"
+            )
+        if text_or_path.endswith(".toml"):
+            with open(text_or_path, "rb") as fh:
+                doc = _tomllib.load(fh)
+        else:
+            doc = _tomllib.loads(text_or_path)
+        return cls.from_dict(doc)
+
+    # -- derivation -----------------------------------------------------
+    def with_topology(self, **overrides: Any) -> "ScenarioSpec":
+        """Copy with topology fields replaced (used by grid drivers)."""
+        return replace(self, topology=replace(self.topology, **overrides))
+
+    def with_workload(self, **overrides: Any) -> "ScenarioSpec":
+        """Copy with workload parameters (or ``kind=``) replaced."""
+        kind = overrides.pop("kind", self.workload.kind)
+        params = dict(self.workload.params)
+        if kind != self.workload.kind:
+            params = {}  # parameters do not carry across generators
+        params.update(overrides)
+        return replace(self, workload=WorkloadSpec(kind=kind, params=params))
+
+    def with_measure(self, **overrides: Any) -> "ScenarioSpec":
+        """Copy with measurement knobs replaced."""
+        return replace(self, measure=replace(self.measure, **overrides))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": {"name": self.name, "description": self.description},
+            "topology": self.topology.as_dict(),
+            "workload": self.workload.as_dict(),
+            "measure": self.measure.as_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of executing one scenario once (or ``repeats`` times)."""
+
+    spec: ScenarioSpec
+    result: WorkloadResult
+    wall_seconds: float
+
+    def report_entry(self) -> Dict[str, Any]:
+        """The JSON shape :func:`build_report` aggregates."""
+        return {
+            "description": self.spec.description,
+            "topology": self.spec.topology.as_dict(),
+            "workload": self.spec.workload.as_dict(),
+            "ops_scale": self.spec.measure.ops_scale,
+            "elapsed_virtual_s": self.result.elapsed,
+            "operations": self.result.operations,
+            "throughput_ops_s": self.result.ops_per_second,
+            "comm": dict(self.result.comm),
+            "wall_seconds": self.wall_seconds,
+            "extra": _jsonable(self.result.extra),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of workload extras to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+    """Execute one scenario on a fresh runtime and return its run record.
+
+    When ``measure.repeats > 1`` every repetition must produce identical
+    virtual time, operation count and comm totals — a violation raises
+    :class:`ScenarioError`, because it means the scenario's workload broke
+    the engine's determinism contract.
+    """
+    params = spec.workload.resolved_params(spec.measure.ops_scale)
+    kind = WORKLOAD_KINDS[spec.workload.kind]
+    t0 = time.perf_counter()
+    reference: Optional[WorkloadResult] = None
+    for rep in range(spec.measure.repeats):
+        with Runtime(config=spec.topology.runtime_config()) as rt:
+            result = kind.runner(rt, spec.topology.tasks_per_locale, params)
+        if reference is None:
+            reference = result
+        elif (
+            result.elapsed != reference.elapsed
+            or result.operations != reference.operations
+            or result.comm != reference.comm
+        ):
+            raise ScenarioError(
+                f"scenario {spec.name!r} is not deterministic: repeat"
+                f" {rep + 1} produced elapsed={result.elapsed!r},"
+                f" comm={result.comm!r} vs first run"
+                f" elapsed={reference.elapsed!r}, comm={reference.comm!r}"
+            )
+    assert reference is not None
+    return ScenarioRun(
+        spec=spec, result=reference, wall_seconds=time.perf_counter() - t0
+    )
+
+
+def run_scenario_grid(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[ScenarioRun], None]] = None,
+) -> List[ScenarioRun]:
+    """Execute many scenarios, in parallel, one runtime per point.
+
+    Each point builds (and tears down) its own worker-pool runtime —
+    scenario runs never share simulator state, so executing them
+    concurrently cannot change any virtual-time result.  ``jobs`` bounds
+    the real threads driving points (default: min(#specs, 4)); results
+    come back in spec order regardless of completion order.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    jobs = jobs if jobs is not None else min(len(specs), 4)
+    if jobs < 1:
+        raise ScenarioError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        runs = []
+        for spec in specs:
+            run = run_scenario(spec)
+            if progress is not None:
+                progress(run)
+            runs.append(run)
+        return runs
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_scenario, spec) for spec in specs]
+        runs = []
+        for fut in futures:
+            run = fut.result()
+            if progress is not None:
+                progress(run)
+            runs.append(run)
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# Reporting & regression baselines
+# ---------------------------------------------------------------------------
+
+
+def load_baselines(path: str) -> Dict[str, Any]:
+    """Load a scenario-baselines JSON file ({} when absent)."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("scenarios", {})
+
+
+def baseline_entry(run: ScenarioRun) -> Dict[str, Any]:
+    """The per-scenario facts a baseline pins (all virtual quantities)."""
+    return {
+        "ops_scale": run.spec.measure.ops_scale,
+        "elapsed_virtual_s": run.result.elapsed,
+        "operations": run.result.operations,
+        "comm": dict(run.result.comm),
+    }
+
+
+def _baseline_status(run: ScenarioRun, baselines: Mapping[str, Any]) -> Dict[str, Any]:
+    base = baselines.get(run.spec.name)
+    if base is None:
+        return {"status": "new"}
+    if base.get("ops_scale") != run.spec.measure.ops_scale:
+        return {
+            "status": "incomparable",
+            "reason": (
+                f"baseline recorded at ops_scale={base.get('ops_scale')},"
+                f" run used {run.spec.measure.ops_scale}"
+            ),
+        }
+    same = (
+        base.get("elapsed_virtual_s") == run.result.elapsed
+        and base.get("operations") == run.result.operations
+        and base.get("comm") == run.result.comm
+    )
+    if same:
+        return {"status": "match"}
+    return {
+        "status": "drift",
+        "baseline": {
+            "elapsed_virtual_s": base.get("elapsed_virtual_s"),
+            "operations": base.get("operations"),
+            "comm": base.get("comm"),
+        },
+    }
+
+
+def build_report(
+    runs: Sequence[ScenarioRun],
+    *,
+    baselines: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Aggregate runs into one JSON-ready report document.
+
+    Each scenario entry carries its spec echo, virtual-time results, wall
+    time, and — when a baselines mapping is given — a regression verdict:
+    ``match`` (bit-identical to the recorded baseline), ``drift`` (virtual
+    results moved: a behaviour change, since virtual time is
+    deterministic), ``new`` (no baseline yet), or ``incomparable``
+    (baseline was recorded at a different ops_scale).
+    """
+    doc: Dict[str, Any] = {
+        "schema": 1,
+        "generator": "repro.bench.scenarios",
+        "scenarios": {},
+    }
+    for run in runs:
+        entry = run.report_entry()
+        if baselines is not None:
+            entry["regression"] = _baseline_status(run, baselines)
+        doc["scenarios"][run.spec.name] = entry
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, replace_existing: bool = False) -> ScenarioSpec:
+    """Add a spec to the named-scenario registry (returns it unchanged).
+
+    Registered scenarios promise the determinism contract in the module
+    docstring; re-registering a taken name requires ``replace_existing``.
+    """
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ScenarioError(
+            f"scenario {spec.name!r} is already registered; pass"
+            f" replace_existing=True to overwrite"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name (with a nearest-miss hint)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        import difflib
+
+        hint = difflib.get_close_matches(name, _REGISTRY, n=1)
+        extra = f" (did you mean {hint[0]!r}?)" if hint else ""
+        raise ScenarioError(
+            f"no scenario named {name!r}{extra}; see scenario_names()"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    """Registered specs in name order."""
+    for name in scenario_names():
+        yield _REGISTRY[name]
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+
+def _builtin(
+    name: str,
+    description: str,
+    topology: Dict[str, Any],
+    workload: Dict[str, Any],
+    measure: Optional[Dict[str, Any]] = None,
+) -> None:
+    register_scenario(
+        ScenarioSpec(
+            name=name,
+            description=description,
+            topology=TopologySpec.from_dict(topology),
+            workload=WorkloadSpec.from_dict(workload),
+            measure=MeasureSpec.from_dict(measure or {}),
+        )
+    )
+
+
+# The paper's grid, as scenario bases the figure drivers derive from.
+_builtin(
+    "paper-atomic-mix",
+    "Figure 3's atomic-operation mix at one grid point (8 locales, ugni);"
+    " the base spec figure3_* drivers sweep.",
+    {"locales": 8, "network": "ugni"},
+    {"kind": "atomic_mix", "cell": "atomic_object", "ops_per_task": 2048},
+)
+_builtin(
+    "paper-reclaim-endonly",
+    "Figure 6's pin/deferDelete loop with reclamation only at the end"
+    " (8 locales, ugni, 50% remote objects); base spec for figures 4-7.",
+    {"locales": 8, "network": "ugni"},
+    {"kind": "epoch", "ops_per_task": 1024, "remote_percent": 50},
+)
+
+# Hotspot scenarios: Zipf-skewed traffic no figure in the paper covers.
+_builtin(
+    "hotspot-zipf",
+    "Zipf-1.2 hotspot over 64 cyclic cells: locale 0's NIC pipeline is the"
+    " contended resource (ugni, 8 locales, 2 tasks/locale).",
+    {"locales": 8, "network": "ugni", "tasks_per_locale": 2},
+    {"kind": "atomic_hotspot", "ops_per_task": 2048, "zipf_exponent": 1.2},
+)
+_builtin(
+    "hotspot-zipf-am",
+    "The same Zipf hotspot without network atomics: the hot locale's"
+    " progress thread serializes active messages and saturates far sooner.",
+    {"locales": 8, "network": "none", "tasks_per_locale": 2},
+    {"kind": "atomic_hotspot", "ops_per_task": 2048, "zipf_exponent": 1.2},
+)
+
+# Mixed read/write epoch traffic.
+_builtin(
+    "read-mostly-reclaim",
+    "90% read / 10% deferDelete pin-unpin traffic, phased root-task"
+    " reclamation every half — the web-cache shape (8 locales, ugni).",
+    {"locales": 8, "network": "ugni"},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 2048,
+        "write_percent": 10,
+        "rounds": 2,
+    },
+)
+_builtin(
+    "write-heavy-reclaim",
+    "75% deferDelete with half the objects remote, four forall rounds at"
+    " 2 tasks/locale, end-of-run reclamation — retirement pressure well"
+    " past Figure 5's.",
+    {"locales": 8, "network": "ugni", "tasks_per_locale": 2},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 1024,
+        "write_percent": 75,
+        "remote_percent": 50,
+        "rounds": 4,
+        # End-only reclamation: with >1 worker per locale, a mid-workload
+        # root scan visits cache lines whose idle-bank residue is real-
+        # schedule-dependent (see the determinism notes in
+        # repro.bench.workloads), which would break bit-identical results.
+        "reclaim_between_rounds": False,
+    },
+)
+
+# Producer-consumer churn over the real structures.
+_builtin(
+    "queue-churn",
+    "Producer-consumer churn over per-slot Michael-Scott queues in plain-"
+    "CAS mode under EBR; consumers drain their neighbour's (remote) queue.",
+    {"locales": 8, "network": "ugni"},
+    {"kind": "churn", "structure": "queue", "items_per_task": 512, "rounds": 2},
+)
+_builtin(
+    "stack-churn",
+    "The same churn over Treiber stacks (plain CAS + EBR), 2 tasks per"
+    " locale — LIFO address reuse makes this the ABA-pressure scenario.",
+    {"locales": 8, "network": "ugni", "tasks_per_locale": 2},
+    {
+        "kind": "churn",
+        "structure": "stack",
+        "items_per_task": 512,
+        "rounds": 2,
+        # End-only reclamation, for the same reason as write-heavy-reclaim.
+        "reclaim_between_rounds": False,
+    },
+)
+
+# Combined traffic and degraded interconnects.
+_builtin(
+    "multi-structure",
+    "Every slot drives a stack, a queue and a hash table retiring into one"
+    " shared EpochManager — combined-traffic reclamation (8 locales, ugni).",
+    {"locales": 8, "network": "ugni"},
+    {"kind": "multi_structure", "ops_per_slot": 256, "rounds": 2},
+)
+_builtin(
+    "degraded-latency",
+    "Write-heavy epoch traffic on the 'degraded' cost profile (8x network"
+    " latencies, no NIC atomics): does phased reclamation still amortize?",
+    {"locales": 8, "network": "none", "cost_profile": "degraded"},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 1024,
+        "write_percent": 50,
+        "remote_percent": 50,
+        "rounds": 2,
+    },
+)

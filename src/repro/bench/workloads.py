@@ -25,15 +25,24 @@ paper's series.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.atomic_object import AtomicObject
 from ..core.epoch_manager import EpochManager
 from ..memory.address import NIL, GlobalAddress
 from ..runtime.runtime import Runtime
 
-__all__ = ["WorkloadResult", "run_atomic_mix", "run_epoch_workload"]
+__all__ = [
+    "WorkloadResult",
+    "run_atomic_mix",
+    "run_epoch_workload",
+    "run_atomic_hotspot",
+    "run_epoch_mixed",
+    "run_producer_consumer",
+    "run_multi_structure",
+]
 
 
 @dataclass
@@ -308,6 +317,493 @@ def run_epoch_workload(
             operations=num_objects,
             comm=rt.comm_totals(),
             extra={"em": stats, "pending_after": leftovers},
+        )
+
+    return rt.run(main)
+
+
+# ---------------------------------------------------------------------------
+# Scenario workloads (beyond the paper's grid; see repro.bench.scenarios)
+# ---------------------------------------------------------------------------
+#
+# Determinism contract: every generator below produces virtual-time and
+# comm-diagnostic results that are bit-identical across repeated runs and
+# worker-pool sizes.  The rules that make that true (and that any new
+# generator must follow):
+#
+# * fixed operation streams — per-task op counts and targets come from the
+#   seeded task RNG or precomputed tables, never from values another task
+#   wrote (CAS *outcomes* may differ between real schedules, but the cost
+#   charged per attempt is route-determined and the attempt count is fixed);
+# * no unbounded retry loops against state another task mutates — shared
+#   structures are driven by exactly one task at a time (phase-exclusive
+#   ownership), so their internal CAS loops always succeed first try;
+# * `tryReclaim` only from the root task at phase boundaries (a concurrent
+#   election/scan is decided by *real-time* interleaving and is therefore
+#   scheduling-dependent — measured directly in tests/test_scenarios.py);
+# * token registration outside the timed region — `register`/`unregister`
+#   are lock-free CAS loops over a shared per-locale free list, charged per
+#   *attempt*, so registering from inside a `forall` with several workers
+#   per locale costs a scheduling-dependent amount (see :class:`_TokenBank`);
+# * with MORE than one worker per locale, reclaim only at the END: a
+#   locale's workers saturate shared cache-line service points (limbo-list
+#   heads), and while per-phase finish times stay order-independent, the
+#   *split* of a saturated line's state between `next_free` and its idle
+#   bank is not.  A mid-workload root scan touching those lines converts
+#   that hidden residue into virtual-time noise in later contended rounds;
+#   as the final phase before the measurement ends it is harmless, because
+#   nothing consults the banks afterwards.  With one worker per locale no
+#   line ever saturates from two real threads, so phase-boundary
+#   reclamation is exactly deterministic.
+
+
+class _TokenBank:
+    """Pre-registered tokens, handed to worker tasks at zero virtual cost.
+
+    The root task registers ``per_locale`` tokens on every locale (via
+    ``rt.on``, outside the timed region), so the allocated-token set — and
+    with it the cost of every ``tryReclaim`` scan — is fixed for the whole
+    workload.  A worker task picks its token by ``task_id % per_locale``:
+    task ids are assigned in spawn-submission order (scheduling-
+    independent), ``forall`` spawns a locale's workers with consecutive
+    ids, and the selection itself charges no virtual time — so *which*
+    token (which cache line) each worker's pins hammer is identical on
+    every run.  A real-lock hand-off here would be subtly wrong: pop order
+    follows real-thread arrival, which reshuffles the worker-to-line
+    mapping between runs and perturbs service-point interleavings.
+    """
+
+    def __init__(self, rt: Runtime, em: EpochManager, per_locale: int) -> None:
+        self._per_locale = per_locale
+        self._tokens: List[List[Any]] = []
+        for lid in range(rt.num_locales):
+            with rt.on(lid):
+                self._tokens.append([em.register() for _ in range(per_locale)])
+
+    def task_init(self) -> "_TokenSlot":
+        """Factory suitable for ``forall(task_init=...)``."""
+        return _TokenSlot(self)
+
+
+class _TokenSlot:
+    """One worker task's token lease from a :class:`_TokenBank`."""
+
+    __slots__ = ("tok",)
+
+    def __init__(self, bank: _TokenBank) -> None:
+        from ..runtime.context import current_context
+
+        ctx = current_context()
+        self.tok = bank._tokens[ctx.locale_id][ctx.task_id % bank._per_locale]
+
+
+def _check_phased_reclaim(
+    tasks_per_locale: int, rounds: int, reclaim_between_rounds: bool
+) -> None:
+    """Reject the combination the determinism notes above forbid.
+
+    Mid-workload root reclamation with more than one worker per locale
+    makes virtual time depend on real-thread scheduling (saturated-line
+    idle-bank residue); fail fast instead of surfacing as a flaky
+    determinism error under `scenarios --repeats`.
+    """
+    if reclaim_between_rounds and tasks_per_locale > 1 and rounds > 1:
+        raise ValueError(
+            "reclaim_between_rounds requires tasks_per_locale == 1 when"
+            " rounds > 1: a mid-workload root scan after a phase where"
+            " several workers shared a locale is not deterministic (see the"
+            " determinism notes in repro.bench.workloads); use"
+            " reclaim_between_rounds=False (end-only reclamation) instead"
+        )
+
+
+def run_atomic_hotspot(
+    rt: Runtime,
+    *,
+    cell: str = "atomic_int",
+    ops_per_task: int,
+    tasks_per_locale: int = 1,
+    num_cells: int = 64,
+    zipf_exponent: float = 1.2,
+) -> WorkloadResult:
+    """Zipf-skewed hotspot variant of the Figure 3 atomic mix.
+
+    Cell *ranks* are drawn from a truncated Zipf distribution with the
+    given exponent, so a handful of cells — and, because cells are
+    distributed cyclically, a handful of *locales*, locale 0 hottest —
+    absorb most of the traffic.  Under ``ugni`` the hot locale's NIC
+    pipeline is the contended resource; under ``none`` it is the progress
+    thread serving active messages, which saturates far sooner.  The op
+    mix is the paper's 25/25/25/25 read/write/CAS/exchange cycle.
+    """
+    if cell not in ("atomic_int", "atomic_object"):
+        raise ValueError(f"unknown hotspot cell kind {cell!r}")
+    if num_cells < 1:
+        raise ValueError(f"num_cells must be >= 1, got {num_cells}")
+    if zipf_exponent <= 0:
+        raise ValueError(f"zipf_exponent must be > 0, got {zipf_exponent}")
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+
+    # Truncated-Zipf cumulative weights over cell ranks; one rng.random()
+    # draw + bisect per op keeps the stream deterministic per task.
+    weights = [1.0 / ((rank + 1) ** zipf_exponent) for rank in range(num_cells)]
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc)
+    total_w = cdf[-1]
+
+    def main() -> WorkloadResult:
+        if cell == "atomic_int":
+            cells = [rt.atomic_int(0, locale=i % nloc) for i in range(num_cells)]
+        else:
+            cells = [AtomicObject(rt, locale=i % nloc) for i in range(num_cells)]
+            operands_by_locale = [
+                [rt.new_obj(object(), locale=lid) for _ in range(2)]
+                for lid in range(nloc)
+            ]
+
+        def body_int(task_idx: int) -> None:
+            from ..runtime.context import current_context
+
+            random = current_context().rng.random
+            pick = bisect.bisect_left
+            for op_i in range(ops_per_task):
+                c = cells[pick(cdf, random() * total_w)]
+                op = op_i & 3
+                if op == 0:
+                    c.read()
+                elif op == 1:
+                    c.write(op_i)
+                elif op == 2:
+                    c.compare_and_swap(0, op_i)
+                else:
+                    c.exchange(op_i)
+
+        def body_obj(task_idx: int) -> None:
+            from ..runtime.context import current_context
+
+            random = current_context().rng.random
+            pick = bisect.bisect_left
+            for op_i in range(ops_per_task):
+                c = cells[pick(cdf, random() * total_w)]
+                op = op_i & 3
+                target = operands_by_locale[c.home][op_i & 1]
+                if op == 0:
+                    c.read()
+                elif op == 1:
+                    c.write(target)
+                elif op == 2:
+                    expected = c.read()
+                    c.compare_and_swap(expected, target)
+                else:
+                    c.exchange(target)
+
+        body = body_int if cell == "atomic_int" else body_obj
+        rt.reset_measurements()
+        with rt.timed() as t:
+            rt.forall(range(ntasks), body, tasks_per_locale=tasks_per_locale)
+        return WorkloadResult(
+            elapsed=t.elapsed,
+            operations=ntasks * ops_per_task,
+            comm=rt.comm_totals(),
+            extra={"hot_cell_share": weights[0] / total_w},
+        )
+
+    return rt.run(main)
+
+
+def run_epoch_mixed(
+    rt: Runtime,
+    *,
+    ops_per_task: int,
+    tasks_per_locale: int = 1,
+    write_percent: int = 25,
+    remote_percent: int = 0,
+    rounds: int = 1,
+    reclaim_between_rounds: bool = True,
+    manager_kwargs: Optional[Dict[str, Any]] = None,
+) -> WorkloadResult:
+    """Mixed pin/deferDelete traffic: a read-write ratio over Listing 5.
+
+    Every iteration pins and unpins; ``write_percent`` percent of them
+    (chosen by a seeded table, so the stream is deterministic) also retire
+    an object.  The iteration space is split into ``rounds`` consecutive
+    ``forall`` phases with a root-task ``tryReclaim`` between phases —
+    reclamation interleaves with ongoing traffic at epoch granularity
+    without the scheduling-dependent election races a concurrent in-loop
+    ``tryReclaim`` would introduce.
+    """
+    if not (0 <= write_percent <= 100):
+        raise ValueError("write_percent must be within [0, 100]")
+    if not (0 <= remote_percent <= 100):
+        raise ValueError("remote_percent must be within [0, 100]")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    _check_phased_reclaim(tasks_per_locale, rounds, reclaim_between_rounds)
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+    num_items = ntasks * ops_per_task
+
+    import random as _random
+
+    table_rng = _random.Random(rt.config.seed ^ 0x5DEECE66D)
+    is_write = [table_rng.randrange(100) < write_percent for _ in range(num_items)]
+
+    def main() -> WorkloadResult:
+        em = EpochManager(rt, **(manager_kwargs or {}))
+
+        objs: List[GlobalAddress] = [NIL] * num_items
+        place_rng = _random.Random(rt.config.seed ^ 0x9E3779B9)
+        for i in range(num_items):
+            if not is_write[i]:
+                continue
+            owner = i % nloc
+            if nloc > 1 and place_rng.randrange(100) < remote_percent:
+                target = (owner + 1 + place_rng.randrange(nloc - 1)) % nloc
+            else:
+                target = owner
+            objs[i] = rt.new_obj(object(), locale=target)
+
+        bank = _TokenBank(rt, em, tasks_per_locale)
+
+        def body(item_idx: int, st: "_TokenSlot") -> None:
+            tok = st.tok
+            tok.pin()
+            if is_write[item_idx]:
+                tok.defer_delete(objs[item_idx])
+            tok.unpin()
+
+        # Round bounds are aligned to the locale count so that item i is
+        # always iterated by locale (i % nloc) — the invariant the object
+        # placement above (remote_percent) is defined against.
+        bounds = [num_items * r // rounds // nloc * nloc for r in range(rounds)]
+        bounds.append(num_items)
+        advances = 0
+        rt.reset_measurements()
+        with rt.timed() as t:
+            for r in range(rounds):
+                chunk = range(bounds[r], bounds[r + 1])
+                if len(chunk) == 0:
+                    continue
+                rt.forall(
+                    chunk,
+                    body,
+                    task_init=bank.task_init,
+                    tasks_per_locale=tasks_per_locale,
+                )
+                if reclaim_between_rounds and r + 1 < rounds:
+                    if em.try_reclaim():
+                        advances += 1
+            em.clear()
+        return WorkloadResult(
+            elapsed=t.elapsed,
+            operations=num_items,
+            comm=rt.comm_totals(),
+            extra={
+                "em": em.stats.as_dict(),
+                "writes": sum(is_write),
+                "root_advances": advances,
+            },
+        )
+
+    return rt.run(main)
+
+
+def run_producer_consumer(
+    rt: Runtime,
+    *,
+    structure: str = "queue",
+    items_per_task: int,
+    tasks_per_locale: int = 1,
+    rounds: int = 2,
+    reclaim_between_rounds: bool = True,
+) -> WorkloadResult:
+    """Producer-consumer churn over the non-blocking queue or stack.
+
+    One structure per task slot, homed on the slot's locale and run in the
+    plain-CAS mode (``aba_protection=False``) under EBR — the RDMA fast
+    path the paper builds the reclamation system to enable.  Each round
+    has a produce phase (slot *i* fills its own, locale-local structure)
+    and a consume phase (slot *i* drains slot *i+1*'s structure — remote
+    CAS/GET traffic), with retirement of unlinked nodes deferred through
+    task tokens.  Phases are separate ``forall`` joins, so every structure
+    has exactly one mutator at a time: churn comes from allocation /
+    retirement / address reuse, not from scheduling-dependent CAS races.
+    """
+    from ..structures.msqueue import LockFreeQueue
+    from ..structures.treiber_stack import LockFreeStack
+
+    if structure not in ("queue", "stack"):
+        raise ValueError(f"unknown churn structure {structure!r}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    _check_phased_reclaim(tasks_per_locale, rounds, reclaim_between_rounds)
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+
+    def main() -> WorkloadResult:
+        em = EpochManager(rt)
+        if structure == "queue":
+            structs = [
+                LockFreeQueue(rt, locale=i % nloc, aba_protection=False)
+                for i in range(ntasks)
+            ]
+        else:
+            structs = [
+                LockFreeStack(rt, locale=i % nloc, aba_protection=False)
+                for i in range(ntasks)
+            ]
+
+        bank = _TokenBank(rt, em, tasks_per_locale)
+
+        def produce(slot: int, st: "_TokenSlot") -> None:
+            tok = st.tok
+            s = structs[slot]
+            if structure == "queue":
+                for v in range(items_per_task):
+                    tok.pin()
+                    s.enqueue(v, tok)
+                    tok.unpin()
+            else:
+                for v in range(items_per_task):
+                    tok.pin()
+                    s.push(v)
+                    tok.unpin()
+
+        def consume(slot: int, st: "_TokenSlot") -> None:
+            tok = st.tok
+            s = structs[(slot + 1) % ntasks]
+            if structure == "queue":
+                for _ in range(items_per_task):
+                    tok.pin()
+                    s.try_dequeue(tok)
+                    tok.unpin()
+            else:
+                for _ in range(items_per_task):
+                    tok.pin()
+                    s.try_pop(tok)
+                    tok.unpin()
+
+        advances = 0
+        rt.reset_measurements()
+        with rt.timed() as t:
+            for _ in range(rounds):
+                rt.forall(
+                    range(ntasks),
+                    produce,
+                    task_init=bank.task_init,
+                    tasks_per_locale=tasks_per_locale,
+                )
+                rt.forall(
+                    range(ntasks),
+                    consume,
+                    task_init=bank.task_init,
+                    tasks_per_locale=tasks_per_locale,
+                )
+                if reclaim_between_rounds:
+                    if em.try_reclaim():
+                        advances += 1
+            em.clear()
+        return WorkloadResult(
+            elapsed=t.elapsed,
+            operations=2 * ntasks * items_per_task * rounds,
+            comm=rt.comm_totals(),
+            extra={"em": em.stats.as_dict(), "root_advances": advances},
+        )
+
+    return rt.run(main)
+
+
+def run_multi_structure(
+    rt: Runtime,
+    *,
+    ops_per_slot: int,
+    tasks_per_locale: int = 1,
+    rounds: int = 1,
+    reclaim_between_rounds: bool = True,
+    hash_buckets: int = 16,
+) -> WorkloadResult:
+    """Combined traffic: stack + queue + hash table sharing one manager.
+
+    Each task slot drives its own trio of structures (stack and queue in
+    plain-CAS mode, an :class:`InterlockedHashTable` slice of buckets
+    spread over every locale) through a fixed op cycle under a pinned
+    token, all retiring into one shared :class:`EpochManager` — the
+    "many structures, one reclamation domain" deployment shape the paper
+    argues for.  Epochs advance from the root between rounds.
+    """
+    from ..structures.interlocked_hash_table import InterlockedHashTable
+    from ..structures.msqueue import LockFreeQueue
+    from ..structures.treiber_stack import LockFreeStack
+
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    _check_phased_reclaim(tasks_per_locale, rounds, reclaim_between_rounds)
+    nloc = rt.num_locales
+    ntasks = nloc * tasks_per_locale
+
+    def main() -> WorkloadResult:
+        em = EpochManager(rt)
+        stacks = [
+            LockFreeStack(rt, locale=i % nloc, aba_protection=False)
+            for i in range(ntasks)
+        ]
+        queues = [
+            LockFreeQueue(rt, locale=i % nloc, aba_protection=False)
+            for i in range(ntasks)
+        ]
+        tables = [
+            InterlockedHashTable(
+                rt, buckets=hash_buckets, manager=em, aba_protection=False
+            )
+            for i in range(ntasks)
+        ]
+
+        bank = _TokenBank(rt, em, tasks_per_locale)
+        key_space = max(1, hash_buckets * 2)
+
+        def body(slot: int, st: "_TokenSlot") -> None:
+            tok = st.tok
+            stack, queue, table = stacks[slot], queues[slot], tables[slot]
+            for k in range(ops_per_slot):
+                key = k % key_space
+                tok.pin()
+                stack.push(k)
+                queue.enqueue(k, tok)
+                table.put(key, k, tok)
+                stack.pop(tok)
+                queue.dequeue(tok)
+                if k & 1:
+                    table.remove(key, tok)
+                tok.unpin()
+
+        ops_per_cycle = 5  # push/enqueue/put/pop/dequeue (+remove on odds)
+        total_ops = ntasks * rounds * (
+            ops_per_slot * ops_per_cycle + ops_per_slot // 2
+        )
+
+        advances = 0
+        rt.reset_measurements()
+        with rt.timed() as t:
+            for _ in range(rounds):
+                rt.forall(
+                    range(ntasks),
+                    body,
+                    task_init=bank.task_init,
+                    tasks_per_locale=tasks_per_locale,
+                )
+                if reclaim_between_rounds:
+                    if em.try_reclaim():
+                        advances += 1
+            em.clear()
+        return WorkloadResult(
+            elapsed=t.elapsed,
+            operations=total_ops,
+            comm=rt.comm_totals(),
+            extra={"em": em.stats.as_dict(), "root_advances": advances},
         )
 
     return rt.run(main)

@@ -27,10 +27,17 @@ All times are in **seconds** of virtual time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
 
-__all__ = ["CostModel", "DEFAULT_COSTS"]
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DEGRADED_COSTS",
+    "WAN_COSTS",
+    "COST_PROFILES",
+    "resolve_cost_model",
+]
 
 #: One nanosecond, for readability of the constants below.
 _NS = 1e-9
@@ -129,3 +136,81 @@ class CostModel:
 
 #: The default calibration used by every benchmark unless overridden.
 DEFAULT_COSTS = CostModel()
+
+#: A congested / degraded interconnect: every *network-facing* cost is 8x
+#: the default while CPU-side work is unchanged.  This widens the gap
+#: between the RDMA and active-message regimes — useful for asking whether
+#: a design's crossover points are artifacts of the default calibration.
+DEGRADED_COSTS = DEFAULT_COSTS.with_overrides(
+    nic_atomic_local_latency=DEFAULT_COSTS.nic_atomic_local_latency * 8,
+    nic_atomic_remote_latency=DEFAULT_COSTS.nic_atomic_remote_latency * 8,
+    nic_atomic_service=DEFAULT_COSTS.nic_atomic_service * 8,
+    am_latency=DEFAULT_COSTS.am_latency * 8,
+    am_service=DEFAULT_COSTS.am_service * 8,
+    rdma_small_latency=DEFAULT_COSTS.rdma_small_latency * 8,
+    rdma_byte_cost=DEFAULT_COSTS.rdma_byte_cost * 8,
+    rdma_service=DEFAULT_COSTS.rdma_service * 8,
+    task_spawn_remote=DEFAULT_COSTS.task_spawn_remote * 8,
+)
+
+#: A wide-area-style profile: latencies two orders of magnitude over the
+#: defaults (bandwidth-ish terms only 10x), for "would this design survive
+#: geo-distribution at all" sensitivity sweeps.
+WAN_COSTS = DEFAULT_COSTS.with_overrides(
+    nic_atomic_local_latency=DEFAULT_COSTS.nic_atomic_local_latency * 100,
+    nic_atomic_remote_latency=DEFAULT_COSTS.nic_atomic_remote_latency * 100,
+    nic_atomic_service=DEFAULT_COSTS.nic_atomic_service * 10,
+    am_latency=DEFAULT_COSTS.am_latency * 100,
+    am_service=DEFAULT_COSTS.am_service * 10,
+    rdma_small_latency=DEFAULT_COSTS.rdma_small_latency * 100,
+    rdma_byte_cost=DEFAULT_COSTS.rdma_byte_cost * 10,
+    rdma_service=DEFAULT_COSTS.rdma_service * 10,
+    task_spawn_remote=DEFAULT_COSTS.task_spawn_remote * 100,
+)
+
+#: Named calibrations a scenario spec can ask for by string.
+COST_PROFILES: Dict[str, CostModel] = {
+    "default": DEFAULT_COSTS,
+    "degraded": DEGRADED_COSTS,
+    "wan": WAN_COSTS,
+}
+
+
+def resolve_cost_model(
+    profile: str = "default",
+    *,
+    scale: float = 1.0,
+    overrides: Optional[Mapping[str, float]] = None,
+) -> CostModel:
+    """Build a :class:`CostModel` from a named profile + adjustments.
+
+    ``profile`` picks a base from :data:`COST_PROFILES`; ``scale``
+    multiplies every constant uniformly; ``overrides`` then replaces
+    individual fields.  Unknown profile names or override fields raise
+    ``ValueError`` listing the valid choices — this is the validation
+    surface the declarative scenario specs lean on.
+    """
+    try:
+        model = COST_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost profile {profile!r}; expected one of"
+            f" {sorted(COST_PROFILES)}"
+        ) from None
+    if (
+        not isinstance(scale, (int, float))
+        or isinstance(scale, bool)
+        or scale <= 0
+    ):
+        raise ValueError(f"cost scale must be a positive number, got {scale!r}")
+    if scale != 1.0:
+        model = model.scaled(scale)
+    if overrides:
+        bad = sorted(set(overrides) - set(CostModel.__dataclass_fields__))
+        if bad:
+            raise ValueError(
+                f"unknown cost override field(s) {bad}; valid fields are"
+                f" {sorted(CostModel.__dataclass_fields__)}"
+            )
+        model = model.with_overrides(**overrides)
+    return model

@@ -40,7 +40,6 @@ from ..memory.address import NIL, GlobalAddress, is_nil
 from ..memory.compression import (
     MAX_COMPRESSIBLE_LOCALES,
     compress,
-    decompress,
 )
 from ..runtime.clock import ServicePoint
 from ..runtime.context import maybe_context

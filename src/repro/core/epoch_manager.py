@@ -288,7 +288,6 @@ class EpochManager(PrivatizedObject):
         guarantees of structures built on it.
         """
         self._check_alive()
-        rt = self._rt
         inst: _EpochManagerInstance = self.get_privatized_instance()
         self.stats.inc("reclaim_attempts")
 

@@ -20,11 +20,10 @@ distributed manager on single-locale workloads is itself an ablation bench
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..atomics.integer import AtomicBool, AtomicUInt64
 from ..errors import EpochManagerError, TokenStateError
-from ..memory.address import GlobalAddress
 from .epoch_manager import EPOCH_CYCLE, EpochManagerStats
 from .limbo_list import LimboList, NodePool
 from .token import Token, TokenAllocatedList, TokenFreeList

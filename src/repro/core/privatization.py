@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, List, Sequence
 
-from ..runtime.context import current_context, maybe_context
+from ..runtime.context import maybe_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime

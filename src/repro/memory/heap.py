@@ -25,8 +25,8 @@ runtime's allocation helpers, keeping policy and mechanism separate.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 from ..errors import (
     DoubleFreeError,

@@ -37,6 +37,11 @@ class NetworkType(enum.Enum):
     NONE = "none"
 
     @classmethod
+    def names(cls) -> "list[str]":
+        """The accepted string spellings, for validation error messages."""
+        return [m.value for m in cls]
+
+    @classmethod
     def parse(cls, value: "NetworkType | str") -> "NetworkType":
         """Accept either an enum member or its string name ("ugni"/"none")."""
         if isinstance(value, cls):
@@ -45,7 +50,8 @@ class NetworkType(enum.Enum):
             return cls(value.lower())
         except (ValueError, AttributeError):
             raise ValueError(
-                f"unknown network type {value!r}; expected 'ugni' or 'none'"
+                f"unknown network type {value!r}; expected one of"
+                f" {cls.names()}"
             ) from None
 
 
@@ -119,6 +125,41 @@ class RuntimeConfig:
     def with_(self, **overrides) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    @classmethod
+    def from_topology(
+        cls,
+        *,
+        locales: int,
+        network: "NetworkType | str" = NetworkType.UGNI,
+        cost_profile: str = "default",
+        cost_scale: float = 1.0,
+        cost_overrides: "Optional[dict]" = None,
+        tasks_per_locale: int = 1,
+        seed: int = 0xC0FFEE,
+        worker_pool_size: Optional[int] = None,
+    ) -> "RuntimeConfig":
+        """Build a config from declarative topology primitives.
+
+        This is the constructor the scenario engine
+        (:mod:`repro.bench.scenarios`) uses: the cost model is named by
+        *profile* (see :data:`repro.comm.costs.COST_PROFILES`) and adjusted
+        with a uniform ``cost_scale`` and per-field ``cost_overrides``
+        instead of being passed as an object, so a TOML file can describe
+        the whole machine.
+        """
+        from ..comm.costs import resolve_cost_model
+
+        return cls(
+            num_locales=locales,
+            network=NetworkType.parse(network),
+            costs=resolve_cost_model(
+                cost_profile, scale=cost_scale, overrides=cost_overrides
+            ),
+            tasks_per_locale=tasks_per_locale,
+            seed=seed,
+            worker_pool_size=worker_pool_size,
+        )
 
     @property
     def uses_network_atomics(self) -> bool:

@@ -61,7 +61,7 @@ from ..atomics.integer import AtomicBool, AtomicInt64, AtomicUInt64
 from ..atomics.wide import AtomicWide128
 from ..comm.counters import CommOp
 from ..errors import LocaleError, NoTaskContextError, RuntimeStateError
-from ..memory.address import NIL, GlobalAddress, is_nil
+from ..memory.address import GlobalAddress, is_nil
 from ..memory.heap import Heap
 from .clock import TaskClock
 from .config import NetworkType, RuntimeConfig

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple
 from ..core.atomic_object import AtomicObject
 from ..core.epoch_manager import EpochManager
 from ..core.token import Token
-from ..memory.address import NIL, GlobalAddress, is_nil
+from ..memory.address import NIL, is_nil
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime

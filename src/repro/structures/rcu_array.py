@@ -26,7 +26,7 @@ Design:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from ..core.atomic_object import AtomicObject
 from ..core.token import Token

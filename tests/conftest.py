@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runtime import NetworkType, Runtime
+from repro.runtime import Runtime
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ from repro.bench.figures import (
     figure6,
     figure7,
 )
-from repro.bench.report import Panel, Series, render_figure, render_panel
+from repro.bench.report import Panel, render_figure, render_panel
 from repro.bench.workloads import WorkloadResult, run_atomic_mix, run_epoch_workload
 from repro.runtime import Runtime
 
@@ -67,7 +67,7 @@ class TestEpochWorkload:
         rt = Runtime(num_locales=2, network="ugni")
         res = run_epoch_workload(rt, ops_per_task=64, remote_percent=0)
         assert res.extra["em"]["objects_reclaimed"] == res.operations
-        live = sum(l.heap.live_count for l in rt.locales)
+        live = sum(loc.heap.live_count for loc in rt.locales)
         assert live == 0
 
     def test_remote_percent_validated(self):
@@ -81,7 +81,7 @@ class TestEpochWorkload:
             rt, ops_per_task=32, delete=False, cleanup_at_end=False
         )
         assert res.extra["em"]["objects_reclaimed"] == 0
-        assert sum(l.heap.stats.allocations for l in rt.locales) == 0
+        assert sum(loc.heap.stats.allocations for loc in rt.locales) == 0
 
     def test_reclaim_every_triggers_attempts(self):
         rt = Runtime(num_locales=2, network="ugni")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.comm.costs import DEFAULT_COSTS, CostModel
+from repro.comm.costs import DEFAULT_COSTS
 from repro.errors import LocaleError
 from repro.runtime.config import NetworkType, RuntimeConfig
 

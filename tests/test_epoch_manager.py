@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import threading
 
 import pytest
 
-from repro.core import EpochManager, LocalEpochManager
+from repro.core import EpochManager
 from repro.errors import EpochManagerError, TokenStateError
 from repro.runtime import Runtime
 

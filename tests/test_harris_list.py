@@ -102,10 +102,10 @@ class TestSequentialSetSemantics:
 
         def main():
             lst = LockFreeOrderedList(rt)
-            before = sum(l.heap.live_count for l in rt.locales)
+            before = sum(loc.heap.live_count for loc in rt.locales)
             lst.insert(1)
             lst.insert(1)  # duplicate: no node should stick around
-            after = sum(l.heap.live_count for l in rt.locales)
+            after = sum(loc.heap.live_count for loc in rt.locales)
             return after - before
 
         assert rt.run(main) == 1  # exactly the one successful node

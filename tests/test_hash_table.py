@@ -58,9 +58,9 @@ class TestMapSemantics:
 
         def main():
             table.put("k", 7)
-            before = sum(l.heap.live_count for l in rt.locales)
+            before = sum(loc.heap.live_count for loc in rt.locales)
             table.put("k", 7)
-            after = sum(l.heap.live_count for l in rt.locales)
+            after = sum(loc.heap.live_count for loc in rt.locales)
             assert after == before
 
         rt.run(main)
@@ -131,10 +131,10 @@ class TestResizeAndDestroy:
                 t.put(i, i, token=tok)
             tok.unpin()
             tok.unregister()
-            before = sum(l.heap.live_count for l in rt.locales)
+            before = sum(loc.heap.live_count for loc in rt.locales)
             assert before > 0
             t.destroy()
-            after = sum(l.heap.live_count for l in rt.locales)
+            after = sum(loc.heap.live_count for loc in rt.locales)
             assert after == 0
 
         rt.run(main)

@@ -19,7 +19,7 @@ import threading
 import pytest
 
 from repro.core import EpochManager
-from repro.errors import MemoryError_, UseAfterFreeError
+from repro.errors import UseAfterFreeError
 from repro.runtime import Runtime
 from repro.structures import (
     InterlockedHashTable,
@@ -139,7 +139,6 @@ class TestEpochSafetyInvariant:
         lock = threading.Lock()
 
         # Monkeypatch-free instrumentation: wrap free_bulk via heap stats.
-        advances_at_defer = {}
 
         def body(i, tok):
             tok.pin()
@@ -270,7 +269,7 @@ class TestMemoryAccountingEndToEnd:
             def body(i, tok):
                 tok.pin()
                 st.push(i)
-                v = st.try_pop(tok)
+                st.try_pop(tok)
                 tok.unpin()
 
             rt.forall(range(500), body, task_init=em.register)

@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.core.limbo_list import LimboList, LimboNode, NodePool
+from repro.core.limbo_list import LimboList, NodePool
 from repro.memory import GlobalAddress
 from repro.runtime import Runtime
 

@@ -185,7 +185,7 @@ class TestHeap:
     def test_stats_track_history(self):
         h = Heap(0)
         a = h.alloc("a")
-        b = h.alloc("b")
+        h.alloc("b")
         h.free(a.offset)
         h.alloc("c")  # reuses a's slot
         s = h.snapshot_stats()

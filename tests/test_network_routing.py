@@ -7,7 +7,6 @@ none, narrow vs wide, opted-out vs network atomics.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runtime import Runtime
 

@@ -141,10 +141,10 @@ class TestResize:
 
     def test_destroy_frees_everything(self, rt):
         def main():
-            before = sum(l.heap.live_count for l in rt.locales)
+            before = sum(loc.heap.live_count for loc in rt.locales)
             arr = RCUArray(rt, 20, block_size=4)
             arr.destroy()
-            after = sum(l.heap.live_count for l in rt.locales)
+            after = sum(loc.heap.live_count for loc in rt.locales)
             assert after == before
 
         rt.run(main)

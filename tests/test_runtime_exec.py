@@ -11,7 +11,7 @@ from repro.errors import (
     NoTaskContextError,
     RuntimeStateError,
 )
-from repro.runtime import Runtime, current_context, maybe_context, snapshot
+from repro.runtime import current_context, maybe_context, snapshot
 
 
 class TestRun:

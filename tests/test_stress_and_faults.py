@@ -14,7 +14,6 @@ import pytest
 
 from repro.core import AtomicObject, EpochManager
 from repro.errors import DoubleFreeError, MemoryError_
-from repro.memory import NIL
 from repro.runtime import Runtime
 from repro.structures import InterlockedHashTable, LockFreeQueue, LockFreeStack
 

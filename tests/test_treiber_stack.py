@@ -209,7 +209,7 @@ class TestConcurrent:
             def body(i, tok):
                 tok.pin()
                 st.push(i)
-                v = st.try_pop(tok)
+                st.try_pop(tok)
                 tok.unpin()
                 if i % 32 == 0:
                     tok.try_reclaim()
