@@ -33,6 +33,8 @@ Package map: :mod:`repro.runtime` (simulated machine),
 :mod:`repro.comm` (cost model / diagnostics), :mod:`repro.memory` (wide
 pointers, compression, heaps), :mod:`repro.atomics` (primitive atomics),
 :mod:`repro.core` (the paper's AtomicObject + EpochManager),
+:mod:`repro.reclaim` (pluggable memory reclamation: EBR / hazard
+pointers / QSBR / interval-based behind one guard protocol),
 :mod:`repro.structures` (non-blocking structures built on them),
 :mod:`repro.baselines` (lock-based comparators), :mod:`repro.bench`
 (figure-by-figure benchmark harness).
@@ -53,12 +55,22 @@ from .errors import (
     CompressionError,
     DoubleFreeError,
     EpochManagerError,
+    ReclaimerError,
     ReproError,
     TokenStateError,
     TooManyLocalesError,
     UseAfterFreeError,
 )
 from .memory import NIL, GlobalAddress, compress, decompress, is_nil
+from .reclaim import (
+    RECLAIMER_SCHEMES,
+    EBRReclaimer,
+    HazardPointerReclaimer,
+    IntervalReclaimer,
+    QSBRReclaimer,
+    default_reclaimer,
+    make_reclaimer,
+)
 from .runtime import NetworkType, Runtime, RuntimeConfig, snapshot
 
 __version__ = "1.0.0"
@@ -90,6 +102,14 @@ __all__ = [
     "LocalEpochManager",
     "LimboList",
     "Token",
+    # reclaim
+    "RECLAIMER_SCHEMES",
+    "make_reclaimer",
+    "default_reclaimer",
+    "EBRReclaimer",
+    "HazardPointerReclaimer",
+    "QSBRReclaimer",
+    "IntervalReclaimer",
     # errors
     "ReproError",
     "UseAfterFreeError",
@@ -97,5 +117,6 @@ __all__ = [
     "TooManyLocalesError",
     "CompressionError",
     "TokenStateError",
+    "ReclaimerError",
     "EpochManagerError",
 ]

@@ -33,6 +33,9 @@ __all__ = ["GlobalLockReclaimer", "ReclaimerGuard"]
 class ReclaimerGuard:
     """Token-shaped adapter so workloads can swap reclaimers uniformly."""
 
+    #: Guard-protocol flag (see repro.reclaim): no per-pointer hazards.
+    needs_protect = False
+
     __slots__ = ("_mgr",)
 
     def __init__(self, mgr: "GlobalLockReclaimer") -> None:
@@ -45,6 +48,10 @@ class ReclaimerGuard:
     def unpin(self) -> None:
         """Leave the protected region (remote fetch_sub)."""
         self._mgr.exit()
+
+    def protect(self, addr: GlobalAddress, slot: int = 0) -> GlobalAddress:
+        """Guard-protocol no-op (region-based protection)."""
+        return addr
 
     def defer_delete(self, addr: GlobalAddress) -> None:
         """Queue ``addr`` for the next drain."""

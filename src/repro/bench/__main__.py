@@ -16,9 +16,15 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
 
     python -m repro.bench scenarios --list
     python -m repro.bench scenarios --run hotspot-zipf queue-churn
+    python -m repro.bench scenarios --run queue-churn --reclaimer hp
     python -m repro.bench scenarios --all --jobs 4 --out report.json
     python -m repro.bench scenarios --all --update-baselines
     python -m repro.bench scenarios --spec my_scenario.toml
+
+``--reclaimer {ebr,hp,qsbr,ibr}`` overrides the memory-reclamation scheme
+of every selected scenario (see docs/RECLAMATION.md); the JSON report's
+``extra.em`` block carries each run's per-scheme retired / freed /
+peak-pending counts.
 
 ``--run`` executes named scenarios (in parallel when ``--jobs`` > 1),
 writes a JSON report with virtual-time results and per-scenario regression
@@ -36,6 +42,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from ..runtime.config import RECLAIMER_SCHEMES
 from . import ablations, figures, scenarios
 from .report import Panel, render_figure
 
@@ -71,6 +78,14 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         "--jobs", type=int, default=None, help="parallel scenario runs (default: min(n, 4))"
     )
     ap.add_argument(
+        "--reclaimer",
+        choices=RECLAIMER_SCHEMES,
+        default=None,
+        help="override the memory-reclamation scheme of every selected"
+        " scenario (cross-scheme comparisons; baseline verdicts become"
+        " 'incomparable' when the scheme differs from the recorded one)",
+    )
+    ap.add_argument(
         "--ops-scale",
         type=float,
         default=None,
@@ -104,6 +119,11 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
 
     if args.update_baselines and args.ops_scale is not None and args.ops_scale != 1.0:
         ap.error("--update-baselines cannot be combined with --ops-scale")
+    if args.update_baselines and args.reclaimer is not None:
+        ap.error(
+            "--update-baselines cannot be combined with --reclaimer (a"
+            " scenario's baseline pins the scheme it was registered with)"
+        )
 
     if args.list:
         print(f"{len(scenarios.scenario_names())} registered scenarios:\n")
@@ -115,6 +135,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             )
             if topo.cost_profile != "default":
                 line += f" [{topo.cost_profile}]"
+            if topo.reclaimer != "ebr":
+                line += f" rec={topo.reclaimer}"
             print(line)
             if spec.description:
                 print(f"      {spec.description}")
@@ -127,6 +149,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     else:
         specs = [scenarios.get_scenario(name) for name in args.run]
 
+    if args.reclaimer is not None:
+        specs = [s.with_topology(reclaimer=args.reclaimer) for s in specs]
     if args.ops_scale is not None:
         specs = [s.with_measure(ops_scale=args.ops_scale) for s in specs]
     if args.repeats is not None:
@@ -135,11 +159,19 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     t0 = time.time()
 
     def progress(run: scenarios.ScenarioRun) -> None:
-        print(
+        line = (
             f"  {run.spec.name:24s} elapsed={run.result.elapsed:.6g}s"
             f" ops={run.result.operations}"
-            f" (wall {run.wall_seconds:.2f}s)"
         )
+        rec = run.result.extra.get("em")
+        if isinstance(rec, dict) and "retired" in rec:
+            line += (
+                f" [{run.spec.topology.reclaimer}:"
+                f" retired={rec['retired']} freed={rec['freed']}"
+                f" peak={rec.get('peak_pending', 0)}]"
+            )
+        line += f" (wall {run.wall_seconds:.2f}s)"
+        print(line)
         sys.stdout.flush()
 
     print(f"running {len(specs)} scenario(s)...")

@@ -66,7 +66,7 @@ from typing import (
 
 from ..comm.costs import resolve_cost_model
 from ..errors import ReproError
-from ..runtime.config import NetworkType, RuntimeConfig
+from ..runtime.config import RECLAIMER_SCHEMES, NetworkType, RuntimeConfig
 from ..runtime.runtime import Runtime
 from .workloads import (
     WorkloadResult,
@@ -122,7 +122,13 @@ def _reject_unknown(doc: Mapping[str, Any], allowed: Sequence[str], where: str) 
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """The simulated machine a scenario runs on."""
+    """The simulated machine a scenario runs on.
+
+    ``reclaimer`` selects the memory-reclamation scheme the workload's
+    structures retire through (see :mod:`repro.reclaim` and
+    docs/RECLAMATION.md): ``"ebr"`` (default — the paper's scheme),
+    ``"hp"``, ``"qsbr"`` or ``"ibr"``.
+    """
 
     locales: int = 8
     network: str = "ugni"
@@ -132,6 +138,7 @@ class TopologySpec:
     cost_overrides: Tuple[Tuple[str, float], ...] = ()
     seed: int = 0xC0FFEE
     worker_pool_size: Optional[int] = None
+    reclaimer: str = "ebr"
 
     def __post_init__(self) -> None:
         if not isinstance(self.locales, int) or self.locales < 1:
@@ -170,6 +177,11 @@ class TopologySpec:
                 f"topology.worker_pool_size must be >= 1 or omitted, got"
                 f" {self.worker_pool_size!r}"
             )
+        if self.reclaimer not in RECLAIMER_SCHEMES:
+            raise ScenarioError(
+                f"topology.reclaimer {self.reclaimer!r} unknown; expected"
+                f" one of {list(RECLAIMER_SCHEMES)}"
+            )
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
@@ -187,6 +199,7 @@ class TopologySpec:
             tasks_per_locale=self.tasks_per_locale,
             seed=self.seed,
             worker_pool_size=self.worker_pool_size,
+            reclaimer=self.reclaimer,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -197,6 +210,7 @@ class TopologySpec:
             "cost_profile": self.cost_profile,
             "cost_scale": self.cost_scale,
             "seed": self.seed,
+            "reclaimer": self.reclaimer,
         }
         if self.cost_overrides:
             out["cost_overrides"] = dict(self.cost_overrides)
@@ -535,6 +549,7 @@ class ScenarioRun:
             "description": self.spec.description,
             "topology": self.spec.topology.as_dict(),
             "workload": self.spec.workload.as_dict(),
+            "reclaimer": self.spec.topology.reclaimer,
             "ops_scale": self.spec.measure.ops_scale,
             "elapsed_virtual_s": self.result.elapsed,
             "operations": self.result.operations,
@@ -650,6 +665,7 @@ def baseline_entry(run: ScenarioRun) -> Dict[str, Any]:
     """The per-scenario facts a baseline pins (all virtual quantities)."""
     return {
         "ops_scale": run.spec.measure.ops_scale,
+        "reclaimer": run.spec.topology.reclaimer,
         "elapsed_virtual_s": run.result.elapsed,
         "operations": run.result.operations,
         "comm": dict(run.result.comm),
@@ -666,6 +682,15 @@ def _baseline_status(run: ScenarioRun, baselines: Mapping[str, Any]) -> Dict[str
             "reason": (
                 f"baseline recorded at ops_scale={base.get('ops_scale')},"
                 f" run used {run.spec.measure.ops_scale}"
+            ),
+        }
+    if base.get("reclaimer", "ebr") != run.spec.topology.reclaimer:
+        return {
+            "status": "incomparable",
+            "reason": (
+                f"baseline recorded with reclaimer="
+                f"{base.get('reclaimer', 'ebr')!r}, run used"
+                f" {run.spec.topology.reclaimer!r}"
             ),
         }
     same = (
@@ -869,6 +894,63 @@ _builtin(
         "reclaim_between_rounds": False,
     },
 )
+
+# Cross-scheme reclamation comparisons: the same three workload shapes
+# under every scheme in repro.reclaim — the ablation the paper could not
+# run (its EBR was the only implementation).  Shapes:
+#
+# * hotspot   — 100% deferDelete with every object remote: retirement and
+#   bulk-free pressure concentrated on remote locales (scatter economics
+#   vs HP scan traffic vs interval draining);
+# * read-mostly — 90% pin/unpin-only traffic: the read-side cost ladder
+#   (QSBR free < EBR two atomics < IBR era publish < HP protect+validate);
+# * churn     — producer-consumer stack churn in plain-CAS mode: address
+#   reuse under real structure traffic, consumers draining a remote
+#   neighbour.
+#
+# All three use one worker per locale and root-driven phase-boundary
+# reclamation, the determinism discipline documented in
+# repro.bench.workloads; the registered baselines pin each scheme's
+# virtual results bit-exactly.
+for _scheme in RECLAIMER_SCHEMES:
+    _builtin(
+        f"reclaim-hotspot-{_scheme}",
+        f"Cross-scheme comparison ({_scheme}): 100% remote deferDelete"
+        " traffic, 4 locales, phased root reclamation.",
+        {"locales": 4, "network": "ugni", "reclaimer": _scheme},
+        {
+            "kind": "epoch_mixed",
+            "ops_per_task": 512,
+            "write_percent": 100,
+            "remote_percent": 100,
+            "rounds": 2,
+        },
+    )
+    _builtin(
+        f"reclaim-read-mostly-{_scheme}",
+        f"Cross-scheme comparison ({_scheme}): 90% read pin/unpin traffic"
+        " — the read-side cost ladder (4 locales, ugni).",
+        {"locales": 4, "network": "ugni", "reclaimer": _scheme},
+        {
+            "kind": "epoch_mixed",
+            "ops_per_task": 1024,
+            "write_percent": 10,
+            "rounds": 2,
+        },
+    )
+    _builtin(
+        f"reclaim-churn-{_scheme}",
+        f"Cross-scheme comparison ({_scheme}): producer-consumer stack"
+        " churn in plain-CAS mode, remote consumers (4 locales, ugni).",
+        {"locales": 4, "network": "ugni", "reclaimer": _scheme},
+        {
+            "kind": "churn",
+            "structure": "stack",
+            "items_per_task": 256,
+            "rounds": 2,
+        },
+    )
+del _scheme
 
 # Combined traffic and degraded interconnects.
 _builtin(

@@ -30,8 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.atomic_object import AtomicObject
-from ..core.epoch_manager import EpochManager
 from ..memory.address import NIL, GlobalAddress
+from ..reclaim import make_reclaimer
 from ..runtime.runtime import Runtime
 
 __all__ = [
@@ -43,6 +43,28 @@ __all__ = [
     "run_producer_consumer",
     "run_multi_structure",
 ]
+
+
+def _reclaimer_for(rt: Runtime, manager_kwargs: Optional[Dict[str, Any]] = None):
+    """The runtime-configured reclaimer for a workload.
+
+    ``manager_kwargs`` are :class:`~repro.core.epoch_manager.EpochManager`
+    ablation knobs (``use_election``/``use_scatter``/``epoch_cycle``) and
+    therefore require the ``"ebr"`` scheme — rejected with a clear error
+    otherwise, instead of an opaque ``TypeError`` from another scheme's
+    constructor.  On the default (``"ebr"``) configuration this
+    constructs exactly the ``EpochManager`` the generators used to build
+    directly, wrapped in the zero-cost adapter — virtual results are
+    bit-identical.
+    """
+    scheme = rt.config.reclaimer
+    if manager_kwargs and scheme != "ebr":
+        raise ValueError(
+            f"manager_kwargs {sorted(manager_kwargs)} are EpochManager"
+            f" (ebr) ablation knobs; the runtime is configured with"
+            f" reclaimer={scheme!r}"
+        )
+    return make_reclaimer(rt, scheme, **(manager_kwargs or {}))
 
 
 @dataclass
@@ -253,7 +275,7 @@ def run_epoch_workload(
     num_objects = ntasks * ops_per_task
 
     def main() -> WorkloadResult:
-        em = EpochManager(rt, **(manager_kwargs or {}))
+        em = _reclaimer_for(rt, manager_kwargs)
 
         # Pre-allocate the objects *outside* the timed region (the paper
         # randomizes placement before the loop).  Object i is iterated by
@@ -308,7 +330,7 @@ def run_epoch_workload(
             )
             if cleanup_at_end:
                 em.clear()
-        stats = em.stats.as_dict()
+        stats = em.stats()
         leftovers = em.pending_count()
         if not cleanup_at_end:
             em.clear()
@@ -316,7 +338,11 @@ def run_epoch_workload(
             elapsed=t.elapsed,
             operations=num_objects,
             comm=rt.comm_totals(),
-            extra={"em": stats, "pending_after": leftovers},
+            extra={
+                "em": stats,
+                "reclaimer": rt.config.reclaimer,
+                "pending_after": leftovers,
+            },
         )
 
     return rt.run(main)
@@ -340,7 +366,13 @@ def run_epoch_workload(
 #   ownership), so their internal CAS loops always succeed first try;
 # * `tryReclaim` only from the root task at phase boundaries (a concurrent
 #   election/scan is decided by *real-time* interleaving and is therefore
-#   scheduling-dependent — measured directly in tests/test_scenarios.py);
+#   scheduling-dependent — measured directly in tests/test_scenarios.py).
+#   The same discipline covers every scheme in repro.reclaim: QSBR/IBR
+#   reclamation and quiescent-point announcements are root-driven via
+#   `phase_boundary()` + `try_reclaim()`, and hazard-pointer threshold
+#   scans are sound mid-phase only because structure ownership is
+#   phase-exclusive (no other guard's hazard slots can ever name an
+#   address this guard retired, so scan outcomes are schedule-independent);
 # * token registration outside the timed region — `register`/`unregister`
 #   are lock-free CAS loops over a shared per-locale free list, charged per
 #   *attempt*, so registering from inside a `forall` with several workers
@@ -371,9 +403,13 @@ class _TokenBank:
     every run.  A real-lock hand-off here would be subtly wrong: pop order
     follows real-thread arrival, which reshuffles the worker-to-line
     mapping between runs and perturbs service-point interleavings.
+
+    Scheme-generic: ``em`` is any reclaimer implementing the guard
+    protocol (:mod:`repro.reclaim`); the bank stores whatever
+    ``register()`` returns.
     """
 
-    def __init__(self, rt: Runtime, em: EpochManager, per_locale: int) -> None:
+    def __init__(self, rt: Runtime, em, per_locale: int) -> None:
         self._per_locale = per_locale
         self._tokens: List[List[Any]] = []
         for lid in range(rt.num_locales):
@@ -553,7 +589,7 @@ def run_epoch_mixed(
     is_write = [table_rng.randrange(100) < write_percent for _ in range(num_items)]
 
     def main() -> WorkloadResult:
-        em = EpochManager(rt, **(manager_kwargs or {}))
+        em = _reclaimer_for(rt, manager_kwargs)
 
         objs: List[GlobalAddress] = [NIL] * num_items
         place_rng = _random.Random(rt.config.seed ^ 0x9E3779B9)
@@ -595,6 +631,7 @@ def run_epoch_mixed(
                     tasks_per_locale=tasks_per_locale,
                 )
                 if reclaim_between_rounds and r + 1 < rounds:
+                    em.phase_boundary()
                     if em.try_reclaim():
                         advances += 1
             em.clear()
@@ -603,7 +640,8 @@ def run_epoch_mixed(
             operations=num_items,
             comm=rt.comm_totals(),
             extra={
-                "em": em.stats.as_dict(),
+                "em": em.stats(),
+                "reclaimer": rt.config.reclaimer,
                 "writes": sum(is_write),
                 "root_advances": advances,
             },
@@ -645,7 +683,7 @@ def run_producer_consumer(
     ntasks = nloc * tasks_per_locale
 
     def main() -> WorkloadResult:
-        em = EpochManager(rt)
+        em = _reclaimer_for(rt)
         if structure == "queue":
             structs = [
                 LockFreeQueue(rt, locale=i % nloc, aba_protection=False)
@@ -704,6 +742,7 @@ def run_producer_consumer(
                     tasks_per_locale=tasks_per_locale,
                 )
                 if reclaim_between_rounds:
+                    em.phase_boundary()
                     if em.try_reclaim():
                         advances += 1
             em.clear()
@@ -711,7 +750,11 @@ def run_producer_consumer(
             elapsed=t.elapsed,
             operations=2 * ntasks * items_per_task * rounds,
             comm=rt.comm_totals(),
-            extra={"em": em.stats.as_dict(), "root_advances": advances},
+            extra={
+                "em": em.stats(),
+                "reclaimer": rt.config.reclaimer,
+                "root_advances": advances,
+            },
         )
 
     return rt.run(main)
@@ -746,7 +789,7 @@ def run_multi_structure(
     ntasks = nloc * tasks_per_locale
 
     def main() -> WorkloadResult:
-        em = EpochManager(rt)
+        em = _reclaimer_for(rt)
         stacks = [
             LockFreeStack(rt, locale=i % nloc, aba_protection=False)
             for i in range(ntasks)
@@ -757,7 +800,7 @@ def run_multi_structure(
         ]
         tables = [
             InterlockedHashTable(
-                rt, buckets=hash_buckets, manager=em, aba_protection=False
+                rt, buckets=hash_buckets, reclaimer=em, aba_protection=False
             )
             for i in range(ntasks)
         ]
@@ -796,6 +839,7 @@ def run_multi_structure(
                     tasks_per_locale=tasks_per_locale,
                 )
                 if reclaim_between_rounds:
+                    em.phase_boundary()
                     if em.try_reclaim():
                         advances += 1
             em.clear()
@@ -803,7 +847,11 @@ def run_multi_structure(
             elapsed=t.elapsed,
             operations=total_ops,
             comm=rt.comm_totals(),
-            extra={"em": em.stats.as_dict(), "root_advances": advances},
+            extra={
+                "em": em.stats(),
+                "reclaimer": rt.config.reclaimer,
+                "root_advances": advances,
+            },
         )
 
     return rt.run(main)

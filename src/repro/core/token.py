@@ -41,7 +41,18 @@ __all__ = ["Token", "TokenFreeList", "TokenAllocatedList"]
 
 
 class Token:
-    """One task's registration with an epoch-manager instance."""
+    """One task's registration with an epoch-manager instance.
+
+    Tokens are the EBR implementation of the scheme-generic *guard
+    protocol* (:mod:`repro.reclaim`): any structure or workload written
+    against a guard accepts a token unchanged.  Epoch-based protection is
+    region-based, so :meth:`protect` is a free no-op and
+    ``needs_protect`` is False — structures skip their hazard-pointer
+    validation reads entirely on the EBR path.
+    """
+
+    #: Guard-protocol flag: EBR needs no per-pointer announcements.
+    needs_protect = False
 
     __slots__ = (
         "_inst",
@@ -159,6 +170,10 @@ class Token:
 
     # Chapel-style alias.
     deferDelete = defer_delete
+
+    def protect(self, addr: GlobalAddress, slot: int = 0) -> GlobalAddress:
+        """Guard-protocol no-op: epochs protect whole pinned regions."""
+        return addr
 
     def try_reclaim(self) -> bool:
         """Attempt a global epoch advance (defers to the manager)."""

@@ -29,6 +29,7 @@ __all__ = [
     "CompressionError",
     "TooManyLocalesError",
     "TokenStateError",
+    "ReclaimerError",
     "EpochManagerError",
     "StructureError",
     "EmptyStructureError",
@@ -113,7 +114,18 @@ class TokenStateError(ReproError):
     """
 
 
-class EpochManagerError(ReproError):
+class ReclaimerError(ReproError):
+    """Generic misuse of a memory-reclamation scheme.
+
+    The common parent for manager-level misuse across every scheme in
+    :mod:`repro.reclaim` (hazard pointers, QSBR, interval-based) — e.g.
+    using a reclaimer after ``destroy()``.  Guard-level misuse (pinning an
+    unregistered guard, retiring without a pin) raises
+    :class:`TokenStateError` for uniformity with the EBR tokens.
+    """
+
+
+class EpochManagerError(ReclaimerError):
     """Generic misuse of the epoch manager (e.g. after ``destroy()``)."""
 
 

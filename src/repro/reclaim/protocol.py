@@ -1,0 +1,472 @@
+"""The shared guard protocol every reclamation scheme implements.
+
+The paper's :class:`~repro.core.epoch_manager.EpochManager` was the only
+reclamation scheme in the repository; this package turns it into the
+*baseline* of a comparative harness.  Every scheme presents the same
+lifecycle::
+
+    rec   = make_reclaimer(rt, "hp")       # or "ebr" / "qsbr" / "ibr"
+    guard = rec.register()                 # per-task, on the task's locale
+    guard.pin()                            # enter a protected region
+    addr  = guard.protect(addr)            # announce a pointer (HP only;
+                                           # a free no-op elsewhere)
+    guard.defer_delete(addr)               # retire a logically-removed obj
+    guard.unpin()                          # leave the region
+    rec.phase_boundary()                   # quiescent point (forall join)
+    rec.try_reclaim()                      # attempt to free retired objs
+    rec.clear(); rec.destroy()             # quiescent teardown
+
+Two halves:
+
+* :class:`ReclaimerBase` — the manager: guard registry, retirement
+  accounting, ``try_reclaim`` / ``clear`` / ``destroy`` / ``stats``.
+* :class:`GuardBase` — the per-task handle: locale-bound like the EBR
+  :class:`~repro.core.token.Token` (whose public surface it mirrors
+  exactly, so the two are interchangeable anywhere a "token" is taken).
+
+Protocol contracts (enforced, and covered by the conformance tests in
+``tests/test_reclaimers.py``):
+
+* ``defer_delete`` requires a pinned guard (:class:`TokenStateError`
+  otherwise — *unguarded-access detection*);
+* every manager entry point raises :class:`ReclaimerError` after
+  ``destroy()`` (*use-after-destroy*);
+* retiring the same address twice is not masked: the double free surfaces
+  as :class:`~repro.errors.DoubleFreeError` when the object is physically
+  reclaimed (*double-retire*);
+* ``clear`` and ``destroy`` require caller-guaranteed quiescence, exactly
+  as ``EpochManager.clear`` does;
+* ``try_reclaim`` never blocks: a scheme that cannot make progress
+  returns ``False``.
+
+Determinism discipline: like EBR's ``tryReclaim``, the manager-level
+``phase_boundary()`` / ``try_reclaim()`` pair is meant to run from the
+root task at ``forall`` phase boundaries; guard-level ``try_reclaim`` is
+allowed anywhere but its scan outcome may then depend on concurrent
+hazard/quiescence state (see the determinism notes in
+:mod:`repro.bench.workloads`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+from ..errors import ReclaimerError, TokenStateError
+from ..memory.address import GlobalAddress
+from ..runtime.config import RECLAIMER_SCHEMES
+from ..runtime.context import _tls as _context_tls
+from ..runtime.context import current_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.runtime import Runtime
+
+__all__ = [
+    "GuardBase",
+    "ReclaimerBase",
+    "RECLAIMER_SCHEMES",
+    "make_reclaimer",
+    "default_reclaimer",
+]
+
+
+class GuardBase:
+    """Per-task reclamation handle (the scheme-generic half of a Token).
+
+    Subclasses supply the scheme's ``pin`` / ``unpin`` / retirement
+    behaviour; the base class carries the registration/locale bookkeeping
+    and the retired list shared by the list-based schemes (HP/QSBR/IBR).
+    EBR's :class:`~repro.core.token.Token` does *not* inherit from this
+    class — it predates it and must stay bit-identical — but exposes the
+    same surface, which the conformance tests pin down.
+    """
+
+    #: True when the scheme requires per-pointer ``protect`` announcements
+    #: (hazard pointers).  Structures consult this flag so the EBR path
+    #: carries zero additional virtual cost.
+    needs_protect = False
+
+    __slots__ = (
+        "_rec",
+        "locale_id",
+        "guard_id",
+        "_registered",
+        "_pinned",
+        "_retired",
+        "_retired_lock",
+    )
+
+    def __init__(self, reclaimer: "ReclaimerBase", locale_id: int, guard_id: int) -> None:
+        self._rec = reclaimer
+        self.locale_id = locale_id
+        self.guard_id = guard_id
+        self._registered = True
+        self._pinned = False
+        #: Guard-local retirement buffer: (address, tag) pairs.  Appended
+        #: by the owning task; drained by reclaim calls.  The (real)
+        #: lock costs no virtual time — it exists so a mid-phase
+        #: guard-level ``try_reclaim`` racing another guard's
+        #: ``defer_delete`` can never lose an entry or drain one twice
+        #: (outcomes may still be nondeterministic mid-phase; see the
+        #: module docstring's discipline notes).
+        self._retired: List[Tuple[GlobalAddress, int]] = []
+        self._retired_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        if not self._registered:
+            raise TokenStateError("guard has been unregistered")
+        try:
+            ctx = _context_tls.ctx
+        except AttributeError:
+            ctx = None
+        if ctx is None:
+            ctx = current_context()
+        if ctx.locale_id != self.locale_id:
+            raise TokenStateError(
+                f"guard registered on locale {self.locale_id} used from"
+                f" locale {ctx.locale_id}; register per-task on each locale"
+            )
+
+    def _charge_local_load(self) -> None:
+        """Charge one plain local load/store (the retire-buffer append)."""
+        current_context().clock.advance(self._rec._costs.cpu_load_latency)
+
+    @property
+    def is_registered(self) -> bool:
+        """True until :meth:`unregister` is called."""
+        return self._registered
+
+    @property
+    def is_pinned(self) -> bool:
+        """Cost-free pinned check (tests / assertions)."""
+        return self._pinned
+
+    # ------------------------------------------------------------------
+    # the protected-region protocol
+    # ------------------------------------------------------------------
+    def pin(self) -> None:
+        """Enter a protected region (scheme-specific announcement cost)."""
+        self._check_usable()
+        self._pinned = True
+
+    def unpin(self) -> None:
+        """Leave the protected region (become quiescent-eligible)."""
+        self._check_usable()
+        self._pinned = False
+
+    def protect(self, addr: GlobalAddress, slot: int = 0) -> GlobalAddress:
+        """Announce intent to dereference ``addr`` (no-op by default).
+
+        Hazard-pointer guards override this with a real (charged) slot
+        publication; every other scheme's region-based protection makes it
+        free, which is exactly the read-side cost difference the
+        cross-scheme scenarios measure.  Returns ``addr`` for chaining.
+        """
+        return addr
+
+    def defer_delete(self, addr: GlobalAddress) -> None:
+        """Retire a logically-removed object for deferred reclamation."""
+        self._check_usable()
+        if not self._pinned:
+            raise TokenStateError("defer_delete requires a pinned guard")
+        self._charge_local_load()
+        with self._retired_lock:
+            self._retired.append((addr, self._retire_tag()))
+        self._after_retire()
+
+    # Chapel-style alias, matching Token.
+    deferDelete = defer_delete
+
+    def _retire_tag(self) -> int:
+        """The scheme-specific tag stored with a retired address."""
+        return 0
+
+    def _after_retire(self) -> None:
+        """Hook run after each retirement (HP's threshold scan)."""
+
+    def try_reclaim(self) -> bool:
+        """Attempt reclamation (defers to the manager by default)."""
+        self._check_usable()
+        return self._rec.try_reclaim()
+
+    tryReclaim = try_reclaim
+
+    # ------------------------------------------------------------------
+    def unregister(self) -> None:
+        """Release the guard (idempotent).
+
+        Outstanding retirements are handed to the manager so a guard's
+        death never leaks memory — they free at the next ``try_reclaim``
+        or ``clear`` like any other retired object.
+        """
+        if not self._registered:
+            return
+        self._on_unregister()
+        self._pinned = False
+        self._registered = False
+        with self._retired_lock:
+            entries, self._retired = self._retired, []
+        if entries:
+            self._rec._adopt_orphans(entries)
+
+    def _on_unregister(self) -> None:
+        """Scheme hook: clear announcements before the guard goes away."""
+
+    def close(self) -> None:
+        """Alias for :meth:`unregister`; hooks ``forall`` task cleanup."""
+        self.unregister()
+
+    def __enter__(self) -> "GuardBase":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unregister()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(id={self.guard_id},"
+            f" locale={self.locale_id}, pinned={self._pinned},"
+            f" registered={self._registered})"
+        )
+
+
+class ReclaimerBase:
+    """Manager half of the guard protocol (registry + accounting).
+
+    Subclasses implement ``_guard_class`` construction via
+    :meth:`_make_guard` and the scheme's :meth:`try_reclaim`.  The retired
+    lists live on the guards; the manager owns the registry, the orphan
+    list (retirements of unregistered guards), and the free machinery.
+    """
+
+    #: Scheme name as accepted by :func:`make_reclaimer` / config.
+    scheme = "base"
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self._rt = runtime
+        self._costs = runtime.config.costs
+        self._destroyed = False
+        self._guards: List[GuardBase] = []
+        self._registry_lock = threading.Lock()
+        self._guard_seq = 0
+        #: Retirements inherited from unregistered guards.
+        self._orphans: List[Tuple[GlobalAddress, int]] = []
+        self._orphan_lock = threading.Lock()
+        # Accounting (updated at root-driven reclaim points, so the values
+        # are deterministic under the workload discipline).
+        self._freed = 0
+        self._peak_pending = 0
+        self._reclaim_attempts = 0
+        self._reclaims = 0
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise ReclaimerError(
+                f"{type(self).__name__} used after destroy()"
+            )
+
+    def register(self) -> GuardBase:
+        """Obtain a guard on the calling task's locale."""
+        self._check_alive()
+        locale_id = current_context().locale_id
+        with self._registry_lock:
+            gid = self._guard_seq
+            self._guard_seq += 1
+        guard = self._make_guard(locale_id, gid)
+        with self._registry_lock:
+            self._guards.append(guard)
+        return guard
+
+    def _make_guard(self, locale_id: int, guard_id: int) -> GuardBase:
+        raise NotImplementedError
+
+    def _registered_guards(self) -> List[GuardBase]:
+        """Registry snapshot (wall-clock lock only; zero virtual cost)."""
+        with self._registry_lock:
+            return [g for g in self._guards if g._registered]
+
+    def _adopt_orphans(self, entries: List[Tuple[GlobalAddress, int]]) -> None:
+        with self._orphan_lock:
+            self._orphans.extend(entries)
+
+    # ------------------------------------------------------------------
+    # reclamation
+    # ------------------------------------------------------------------
+    def phase_boundary(self) -> None:
+        """Declare a quiescent point (``forall`` join).  Default: no-op.
+
+        QSBR overrides this to mark every unpinned guard quiescent — its
+        explicit quiescent-state announcements happen here, at phase
+        boundaries, rather than per operation.
+        """
+        self._check_alive()
+
+    def try_reclaim(self) -> bool:
+        """Attempt to free retired objects; never blocks."""
+        raise NotImplementedError
+
+    tryReclaim = try_reclaim
+
+    def quiesce_check(self) -> None:
+        """Hook before clear/destroy; subclasses may sanity-check state."""
+
+    def _drain_retired(self, guards: List["GuardBase"], keep) -> int:
+        """Drain ``guards``' buffers plus the orphans and free the rest.
+
+        The one shared partition-and-free pipeline every scheme's reclaim
+        path runs: entries satisfying ``keep(entry)`` stay buffered (a
+        hazard names them / their tag is too recent), everything else is
+        bulk-freed by owning locale.  ``keep=None`` frees unconditionally
+        (the ``clear`` contract).  Buffer swaps happen under the per-guard
+        locks so a racing ``defer_delete`` can never be lost.
+        """
+        to_free: List[Tuple[GlobalAddress, int]] = []
+        for guard in guards:
+            with guard._retired_lock:
+                if keep is None:
+                    to_free.extend(guard._retired)
+                    guard._retired = []
+                else:
+                    kept = []
+                    for entry in guard._retired:
+                        if keep(entry):
+                            kept.append(entry)
+                        else:
+                            to_free.append(entry)
+                    guard._retired = kept
+        with self._orphan_lock:
+            orphans = self._orphans
+            self._orphans = []
+        if keep is None:
+            to_free.extend(orphans)
+        else:
+            kept_orphans = [e for e in orphans if keep(e)]
+            to_free.extend(e for e in orphans if not keep(e))
+            if kept_orphans:
+                self._adopt_orphans(kept_orphans)
+        return self._free_entries(to_free)
+
+    def clear(self) -> int:
+        """Free *everything* retired, unconditionally.
+
+        Contract (same as ``EpochManager.clear``): the caller guarantees
+        no other task is interacting with the reclaimer.
+        """
+        self._check_alive()
+        self._note_pending()
+        return self._drain_retired(self._registered_guards(), None)
+
+    def destroy(self) -> None:
+        """Reclaim all remaining objects and retire the manager."""
+        if self._destroyed:
+            return
+        self.clear()
+        with self._registry_lock:
+            for guard in self._guards:
+                guard._registered = False
+            self._guards = []
+        self._destroyed = True
+
+    # ------------------------------------------------------------------
+    # shared free machinery
+    # ------------------------------------------------------------------
+    def _free_entries(self, entries: List[Tuple[GlobalAddress, int]]) -> int:
+        """Free the given (address, tag) entries, bulk-grouped by locale.
+
+        Mirrors the EpochManager's scatter-list economics: one bulk free
+        per owning locale instead of one RPC per object.
+        """
+        if not entries:
+            return 0
+        by_locale: Dict[int, List[int]] = {}
+        for addr, _tag in entries:
+            by_locale.setdefault(addr.locale, []).append(addr.offset)
+        freed = 0
+        for lid in sorted(by_locale):
+            freed += self._rt.free_bulk(lid, by_locale[lid])
+        self._freed += freed
+        return freed
+
+    def _note_pending(self) -> None:
+        """Sample pending garbage into the peak counter (cost-free)."""
+        pending = self.pending_count()
+        if pending > self._peak_pending:
+            self._peak_pending = pending
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Cost-free count of retired-but-unfreed objects (tests/stats)."""
+        with self._registry_lock:
+            pending = sum(len(g._retired) for g in self._guards)
+        with self._orphan_lock:
+            pending += len(self._orphans)
+        return pending
+
+    def _retired_total(self) -> int:
+        """Total retirements ever (freed + still pending; cost-free)."""
+        return self._freed + self.pending_count()
+
+    def stats(self) -> Dict[str, Any]:
+        """Normalized counters; every scheme reports at least these keys.
+
+        ``retired`` / ``freed`` / ``pending`` / ``peak_pending`` are the
+        cross-scheme comparison columns in the scenario JSON report;
+        ``reclaim_attempts`` / ``objects_reclaimed`` keep the shape of the
+        historical EpochManager stats dict.
+        """
+        return {
+            "scheme": self.scheme,
+            "retired": self._retired_total(),
+            "freed": self._freed,
+            "pending": self.pending_count(),
+            "peak_pending": self._peak_pending,
+            "reclaim_attempts": self._reclaim_attempts,
+            "objects_reclaimed": self._freed,
+            "reclaims": self._reclaims,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(freed={self._freed}, pending={self.pending_count()})"
+
+
+def make_reclaimer(runtime: "Runtime", scheme: str = "ebr", **kwargs: Any):
+    """Construct a reclaimer by scheme name (``"ebr"|"hp"|"qsbr"|"ibr"``).
+
+    ``kwargs`` pass through to the scheme constructor (e.g. EBR's ablation
+    knobs ``use_election``/``use_scatter``, HP's ``scan_threshold``).
+    """
+    from .ebr import EBRReclaimer
+    from .hp import HazardPointerReclaimer
+    from .ibr import IntervalReclaimer
+    from .qsbr import QSBRReclaimer
+
+    classes = {
+        "ebr": EBRReclaimer,
+        "hp": HazardPointerReclaimer,
+        "qsbr": QSBRReclaimer,
+        "ibr": IntervalReclaimer,
+    }
+    try:
+        cls = classes[scheme]
+    except KeyError:
+        raise ReclaimerError(
+            f"unknown reclaimer scheme {scheme!r}; expected one of"
+            f" {list(RECLAIMER_SCHEMES)}"
+        ) from None
+    return cls(runtime, **kwargs)
+
+
+def default_reclaimer(runtime: "Runtime", **kwargs: Any):
+    """The one shared default-reclaimer factory.
+
+    Replaces the per-structure ``manager if manager is not None else
+    EpochManager(runtime)`` copy-paste: structures (and anything else that
+    wants "whatever this machine is configured for") call this and get the
+    scheme selected by ``runtime.config.reclaimer`` (default: the paper's
+    EBR).
+    """
+    return make_reclaimer(runtime, runtime.config.reclaimer, **kwargs)

@@ -25,7 +25,13 @@ from typing import Optional
 from ..comm.costs import CostModel, DEFAULT_COSTS
 from ..errors import LocaleError
 
-__all__ = ["NetworkType", "RuntimeConfig"]
+__all__ = ["NetworkType", "RuntimeConfig", "RECLAIMER_SCHEMES"]
+
+#: Canonical names of the pluggable memory-reclamation schemes (see
+#: :mod:`repro.reclaim`).  Declared here — not in ``repro.reclaim`` — so
+#: that config validation does not import the reclaimer implementations
+#: (which themselves build on the runtime).
+RECLAIMER_SCHEMES = ("ebr", "hp", "qsbr", "ibr")
 
 
 class NetworkType(enum.Enum):
@@ -75,6 +81,11 @@ class RuntimeConfig:
     seed:
         Seed for all task-local RNGs; sweeps derive per-task seeds from it
         deterministically.
+    reclaimer:
+        Which memory-reclamation scheme structures and workloads use by
+        default: ``"ebr"`` (the paper's distributed epoch-based scheme),
+        ``"hp"`` (per-task hazard pointers), ``"qsbr"`` (quiescent-state
+        based) or ``"ibr"`` (interval-based).  See docs/RECLAMATION.md.
     worker_pool_size:
         Maximum real threads in the runtime's persistent
         :class:`~repro.runtime.tasking.WorkerPool`.  ``None`` (the default)
@@ -100,6 +111,7 @@ class RuntimeConfig:
     heap_base: int = 0x1000
     heap_alignment: int = 16
     worker_pool_size: Optional[int] = None
+    reclaimer: str = "ebr"
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -118,6 +130,11 @@ class RuntimeConfig:
             raise ValueError(
                 f"heap_alignment must be a power of two >= 2, got"
                 f" {self.heap_alignment}"
+            )
+        if self.reclaimer not in RECLAIMER_SCHEMES:
+            raise ValueError(
+                f"unknown reclaimer {self.reclaimer!r}; expected one of"
+                f" {list(RECLAIMER_SCHEMES)}"
             )
         # Normalize string network names passed positionally.
         object.__setattr__(self, "network", NetworkType.parse(self.network))
@@ -138,6 +155,7 @@ class RuntimeConfig:
         tasks_per_locale: int = 1,
         seed: int = 0xC0FFEE,
         worker_pool_size: Optional[int] = None,
+        reclaimer: str = "ebr",
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -159,6 +177,7 @@ class RuntimeConfig:
             tasks_per_locale=tasks_per_locale,
             seed=seed,
             worker_pool_size=worker_pool_size,
+            reclaimer=reclaimer,
         )
 
     @property

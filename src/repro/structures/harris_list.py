@@ -9,9 +9,13 @@ The third classic from the paper's motivation.  The interesting mechanics:
 * removal is two-phase: CAS the mark into the victim's ``next`` (logical
   removal — the linearization point), then unlink it from its predecessor
   (physical removal, possibly *helped* by any later traversal);
-* unlinked nodes are deferred through an epoch-manager token: this is the
-  structure where "logically removed, physically reclaimed later" — the
-  premise of the whole EpochManager design — is clearest.
+* unlinked nodes are deferred through a reclamation guard of any scheme
+  (:mod:`repro.reclaim`): this is the structure where "logically removed,
+  physically reclaimed later" — the premise of the whole reclamation
+  subsystem — is clearest.  Under a hazard-pointer guard traversals run
+  hand-over-hand protection: each visited node is published in an
+  alternating hazard slot and re-validated against its predecessor's
+  ``next`` word before the dereference.
 
 Mark-in-pointer works *because of* pointer compression: a full 128-bit wide
 pointer couldn't ride a 64-bit atomic, mark bit or not.  (With >= 2**16
@@ -88,12 +92,25 @@ class LockFreeOrderedList:
         (helping), and deferred through ``token`` when given.
         """
         rt = self._rt
+        protecting = token is not None and token.needs_protect
         while True:  # restart label
             prev_cell = self._head_node.next
             cur_word = prev_cell.read()
             cur_addr, _ = _unpack(cur_word)
             restart = False
+            depth = 0
             while not is_nil(cur_addr):
+                if protecting:
+                    # Hand-over-hand hazard publication: cur lives in slot
+                    # (depth & 1) and the still-needed predecessor in the
+                    # other slot (parity flips only when prev *advances*,
+                    # below — a marked node replaced by helping reuses the
+                    # same slot, so prev's hazard is never clobbered).
+                    # Re-validate the link before dereferencing.
+                    token.protect(cur_addr, depth & 1)
+                    if prev_cell.read() != _pack(cur_addr, False):
+                        restart = True
+                        break
                 cur_node = rt.deref(cur_addr)
                 next_word = cur_node.next.read()
                 next_addr, cur_marked = _unpack(next_word)
@@ -106,12 +123,15 @@ class LockFreeOrderedList:
                         break
                     if token is not None:
                         token.defer_delete(cur_addr)
+                    # prev is unchanged: the successor takes over cur's
+                    # hazard slot on the next iteration (same parity).
                     cur_addr = next_addr
                     continue
                 if cur_node.key >= key:
                     return prev_cell, cur_addr, next_addr, cur_node
                 prev_cell = cur_node.next
                 cur_addr = next_addr
+                depth += 1
             if restart:
                 continue
             return prev_cell, NIL, NIL, None
@@ -156,22 +176,32 @@ class LockFreeOrderedList:
                     token.defer_delete(cur_addr)
             return True
 
-    def contains(self, key: Any) -> bool:
-        """Wait-free-ish read-only membership test (no helping, no CAS)."""
-        rt = self._rt
-        cur_addr, _ = _unpack(self._head_node.next.read())
-        while not is_nil(cur_addr):
-            node = rt.deref(cur_addr)
-            next_addr, marked = _unpack(node.next.read())
-            if not marked and node.key == key:
-                return True
-            if node.key is not None and node.key > key:
-                return False
-            cur_addr = next_addr
-        return False
+    def contains(self, key: Any, token: Optional[Token] = None) -> bool:
+        """Wait-free-ish read-only membership test (no helping, no CAS).
 
-    def get(self, key: Any, default: Any = None) -> Any:
-        """Return the value stored under ``key`` (read-only traversal)."""
+        ``token`` is only needed under hazard-pointer reclamation, where
+        read-only traversals must protect the nodes they dereference;
+        region-based schemes (EBR/QSBR/IBR) cover the traversal through
+        the caller's pinned guard.
+        """
+        sentinel = object()
+        return self.get(key, sentinel, token=token) is not sentinel
+
+    def get(self, key: Any, default: Any = None, token: Optional[Token] = None) -> Any:
+        """Return the value stored under ``key`` (read-only traversal).
+
+        Under a hazard-pointer guard the lookup goes through
+        :meth:`_find` instead of the cheap scan: a validation-only
+        traversal cannot pass a marked-but-not-unlinked node safely (its
+        ``next`` word fails the unmarked check forever, and an
+        address-only check would admit freed successors), so — exactly as
+        in Michael's algorithm — HP readers help unlink what they pass.
+        """
+        if token is not None and token.needs_protect:
+            _, _, _, cur_node = self._find(key, token)
+            if cur_node is not None and cur_node.key == key:
+                return cur_node.value
+            return default
         rt = self._rt
         cur_addr, _ = _unpack(self._head_node.next.read())
         while not is_nil(cur_addr):

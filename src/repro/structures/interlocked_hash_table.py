@@ -32,6 +32,7 @@ from ..core.atomic_object import AtomicObject
 from ..core.epoch_manager import EpochManager
 from ..core.token import Token
 from ..memory.address import NIL, is_nil
+from ..reclaim import EBRReclaimer, default_reclaimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -63,9 +64,16 @@ class InterlockedHashTable:
     buckets:
         Number of buckets (rounded up to a power of two); distributed
         cyclically over locales.
+    reclaimer:
+        Optional shared reclaimer from :mod:`repro.reclaim` (any scheme).
+        When omitted (and no ``manager`` is given either) the table asks
+        :func:`repro.reclaim.default_reclaimer` for whatever scheme the
+        runtime is configured for — the one shared default-construction
+        factory — and owns it (``destroy()`` tears it down).
     manager:
-        Optional shared :class:`EpochManager`; one is created when omitted
-        (and owned — ``destroy()`` tears it down).
+        Backwards-compatible spelling: share an existing
+        :class:`EpochManager` (wrapped in an :class:`EBRReclaimer`
+        adapter, not owned).  Mutually exclusive with ``reclaimer``.
     """
 
     def __init__(
@@ -74,15 +82,26 @@ class InterlockedHashTable:
         *,
         buckets: int = 64,
         manager: Optional[EpochManager] = None,
+        reclaimer=None,
         aba_protection: bool = True,
     ) -> None:
+        if manager is not None and reclaimer is not None:
+            raise ValueError("pass either reclaimer= or manager=, not both")
         self._rt = runtime
         n = 1
         while n < max(1, buckets):
             n <<= 1
         self._nbuckets = n
-        self._owns_manager = manager is None
-        self.manager = manager if manager is not None else EpochManager(runtime)
+        self._owns_reclaimer = manager is None and reclaimer is None
+        if reclaimer is not None:
+            self.reclaimer = reclaimer
+        elif manager is not None:
+            self.reclaimer = EBRReclaimer(runtime, manager=manager)
+        else:
+            self.reclaimer = default_reclaimer(runtime)
+        #: The underlying EpochManager when the scheme is EBR (legacy
+        #: accessor kept for callers that shared a manager), else None.
+        self.manager = getattr(self.reclaimer, "manager", None)
         #: With ``aba_protection=False`` headers use plain 64-bit CASes —
         #: the RDMA fast path — relying on EBR to prevent snapshot-address
         #: recycling (operations must then run under a pinned token).
@@ -129,11 +148,28 @@ class InterlockedHashTable:
             return header.compare_and_swap_aba(snap, new)
         return header.compare_and_swap(snap, new)
 
-    def get(self, key: Any, default: Any = None) -> Any:
-        """Look up ``key``: one header read + one snapshot fetch."""
+    def _load_header_protected(self, header: AtomicObject, token: Optional[Token]):
+        """:meth:`_load_header` plus the hazard handshake when required."""
+        if token is None or not token.needs_protect:
+            return self._load_header(header)
+        while True:
+            snap, addr = self._load_header(header)
+            if is_nil(addr):
+                return snap, addr
+            token.protect(addr)
+            if self._load_header(header)[1] == addr:
+                return snap, addr
+
+    def get(self, key: Any, default: Any = None, token: Optional[Token] = None) -> Any:
+        """Look up ``key``: one header read + one snapshot fetch.
+
+        ``token`` is only needed under hazard-pointer reclamation, where
+        the snapshot must be protected before the fetch; region-based
+        schemes cover readers through their pinned guard.
+        """
         h = _stable_hash(key)
         header = self._headers[self._bucket_of(h)]
-        _, addr = self._load_header(header)
+        _, addr = self._load_header_protected(header, token)
         if is_nil(addr):
             return default
         snap: _BucketSnapshot = self._rt.deref(addr)
@@ -142,10 +178,10 @@ class InterlockedHashTable:
                 return ev
         return default
 
-    def contains(self, key: Any) -> bool:
+    def contains(self, key: Any, token: Optional[Token] = None) -> bool:
         """Membership test (wait-free)."""
         sentinel = object()
-        return self.get(key, sentinel) is not sentinel
+        return self.get(key, sentinel, token=token) is not sentinel
 
     # ------------------------------------------------------------------
     # writes (lock-free RCU on the bucket)
@@ -163,7 +199,7 @@ class InterlockedHashTable:
         """
         rt = self._rt
         while True:
-            snap_ref, old_addr = self._load_header(header)
+            snap_ref, old_addr = self._load_header_protected(header, token)
             entries: Tuple[Tuple[int, Any, Any], ...] = ()
             if not is_nil(old_addr):
                 entries = rt.deref(old_addr).entries
@@ -286,15 +322,15 @@ class InterlockedHashTable:
             self.put(k, v)
 
     def destroy(self) -> None:
-        """Free all snapshots (and the owned manager, when applicable)."""
+        """Free all snapshots (and the owned reclaimer, when applicable)."""
         rt = self._rt
         for header in self._headers:
             addr = header.peek()
             if not is_nil(addr):
                 rt.free(addr)
                 header.write(NIL)
-        if self._owns_manager:
-            self.manager.destroy()
+        if self._owns_reclaimer:
+            self.reclaimer.destroy()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"InterlockedHashTable(buckets={self._nbuckets})"

@@ -18,11 +18,14 @@ ABA strategy — the paper's two options, both available:
     even with immediate address recycling, but a remote DCAS is an active
     message — the demoted path of Figure 3.
 
-``aba_protection=False`` + an EpochManager token on every operation
+``aba_protection=False`` + a reclamation guard on every operation
     Plain 64-bit compressed-pointer CASes — the RDMA fast path.  Sound
-    because EBR *is* an ABA defense: a node's address cannot be recycled
-    while any participant that might hold it is pinned.  This is exactly
-    the paper's argument for building the reclamation system first.
+    because deferred reclamation *is* an ABA defense: a node's address
+    cannot be recycled while any participant that might hold it is
+    protected.  Any guard from :mod:`repro.reclaim` works (EBR token,
+    hazard-pointer, QSBR, interval); under a hazard-pointer guard the
+    operations additionally run the protect/validate handshake on the
+    head/tail/next pointers they dereference.
 
 Nodes allocate on the enqueuing task's locale, so a busy queue's links
 cross locales and the cost model exercises genuine remote CAS traffic.
@@ -112,14 +115,19 @@ class LockFreeQueue:
 
         ``token`` is accepted for interface symmetry (an enqueue retires
         nothing); in the plain-CAS mode the *caller* is responsible for
-        operating under a pinned token so EBR can stand in for ABA
-        protection.
+        operating under a pinned guard so deferred reclamation can stand
+        in for ABA protection.
         """
         rt = self._rt
+        protecting = token is not None and token.needs_protect
         node = QueueNode(rt, value, rt.here(), self.aba_protection)
         addr = rt.new_obj(node)
         while True:
             tail_snap, tail_addr = self._load(self.tail)
+            if protecting:
+                token.protect(tail_addr, 0)
+                if self._load(self.tail)[1] != tail_addr:
+                    continue  # tail moved before the hazard was visible
             tail_node = rt.deref(tail_addr)
             next_snap, next_addr = self._load(tail_node.next)
             # Re-check the tail hasn't moved since we read it.
@@ -143,8 +151,13 @@ class LockFreeQueue:
         leaked, which is safe).
         """
         rt = self._rt
+        protecting = token is not None and token.needs_protect
         while True:
             head_snap, head_addr = self._load(self.head)
+            if protecting:
+                token.protect(head_addr, 0)
+                if self._load(self.head)[1] != head_addr:
+                    continue  # head moved before the hazard was visible
             tail_snap, tail_addr = self._load(self.tail)
             head_node = rt.deref(head_addr)
             _, next_addr = self._load(head_node.next)
@@ -156,6 +169,10 @@ class LockFreeQueue:
                 # Tail lagging behind a half-finished enqueue: help.
                 self._cas(self.tail, tail_snap, next_addr)
                 continue
+            if protecting:
+                token.protect(next_addr, 1)
+                if self._load(self.head)[1] != head_addr:
+                    continue  # next may have been recycled; retry from head
             next_node = rt.deref(next_addr)
             value = next_node.value
             if self._cas(self.head, head_snap, next_addr):

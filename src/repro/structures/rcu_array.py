@@ -19,9 +19,15 @@ Design:
   one block GET/PUT — never a retry;
 * ``resize`` builds a new descriptor (reusing surviving blocks), publishes
   it with one CAS, and retires the old descriptor — and any dropped
-  blocks — through an epoch-manager token.  Readers that raced the resize
-  keep using the old descriptor safely until they quiesce: exactly the
-  RCU grace-period argument, provided by the EpochManager.
+  blocks — through a reclamation guard of any scheme
+  (:mod:`repro.reclaim`).  Readers that raced the resize keep using the
+  old descriptor safely until they quiesce: exactly the RCU grace-period
+  argument, provided by whichever reclaimer the guard belongs to.  Under
+  a hazard-pointer guard, element reads/writes that pass a guard protect
+  the descriptor (slot 0) *and* the resolved block (slot 1), re-validating
+  the root between the two publications — blocks dropped by a shrink are
+  retired as independent addresses, so the descriptor hazard alone would
+  not keep them live through a scan.
 """
 
 from __future__ import annotations
@@ -105,9 +111,21 @@ class RCUArray:
             out.append(rt.locale(target).heap.alloc(payload))
         return tuple(out)
 
-    def _descriptor(self) -> _Descriptor:
-        """Fetch the current descriptor (one atomic read + one GET)."""
+    def _descriptor(self, token: Optional[Token] = None) -> _Descriptor:
+        """Fetch the current descriptor (one atomic read + one GET).
+
+        With a hazard-pointer guard the descriptor address is published
+        and re-validated before the dereference; other schemes skip the
+        handshake entirely.
+        """
         addr = self._root.read_aba().get_object()
+        if token is not None and token.needs_protect:
+            while True:
+                token.protect(addr)
+                current = self._root.read_aba().get_object()
+                if current == addr:
+                    break
+                addr = current
         return self._rt.deref(addr)
 
     def _locate(self, desc: _Descriptor, index: int) -> Tuple[GlobalAddress, int]:
@@ -120,22 +138,54 @@ class RCUArray:
     # ------------------------------------------------------------------
     # wait-free element access
     # ------------------------------------------------------------------
-    def read(self, index: int) -> Any:
-        """Load element ``index`` (wait-free: no loops, no CAS)."""
-        desc = self._descriptor()
-        block_addr, off = self._locate(desc, index)
+    def _locate_protected(
+        self, index: int, token: Optional[Token]
+    ) -> Tuple[_Descriptor, GlobalAddress, int]:
+        """Resolve ``index`` to its block, with the HP double handshake.
+
+        Under a hazard-pointer guard both the descriptor (slot 0) and the
+        resolved block (slot 1) must be published: a shrink retires
+        dropped blocks as their own addresses, so only a hazard naming
+        the block keeps it live through a scan.  After publishing the
+        block hazard the root is re-read — if it still names our
+        descriptor, the blocks it references had not been retired when
+        the hazard became visible.  Region-based schemes skip all of it.
+        """
+        if token is None or not token.needs_protect:
+            desc = self._descriptor(token)
+            block_addr, off = self._locate(desc, index)
+            return desc, block_addr, off
+        while True:
+            snap_addr = self._root.read_aba().get_object()
+            token.protect(snap_addr, 0)
+            if self._root.read_aba().get_object() != snap_addr:
+                continue
+            desc: _Descriptor = self._rt.deref(snap_addr)
+            block_addr, off = self._locate(desc, index)
+            token.protect(block_addr, 1)
+            if self._root.read_aba().get_object() != snap_addr:
+                continue  # resized under us: the block may be retired
+            return desc, block_addr, off
+
+    def read(self, index: int, token: Optional[Token] = None) -> Any:
+        """Load element ``index`` (wait-free: no loops, no CAS).
+
+        ``token`` is only consulted under hazard-pointer reclamation
+        (descriptor + block protection); region-based schemes need none
+        here.
+        """
+        _, block_addr, off = self._locate_protected(index, token)
         block = self._rt.deref(block_addr)
         return block[off]
 
-    def write(self, index: int, value: Any) -> None:
+    def write(self, index: int, value: Any, token: Optional[Token] = None) -> None:
         """Store element ``index`` (wait-free).
 
         Element writes mutate blocks in place — RCU protects the array's
         *structure* (the descriptor), not individual elements, exactly as
         in the RCUArray paper.
         """
-        desc = self._descriptor()
-        block_addr, off = self._locate(desc, index)
+        _, block_addr, off = self._locate_protected(index, token)
         block = self._rt.deref(block_addr)
         ctx_charge = self._rt.network
         from ..runtime.context import maybe_context
@@ -162,9 +212,15 @@ class RCUArray:
         if new_length < 0:
             raise ValueError("new_length must be >= 0")
         rt = self._rt
+        protecting = token is not None and token.needs_protect
         while True:
             snap = self._root.read_aba()
-            old_desc: _Descriptor = rt.deref(snap.get_object())
+            old_addr = snap.get_object()
+            if protecting:
+                token.protect(old_addr)
+                if self._root.read_aba().get_object() != old_addr:
+                    continue  # descriptor republished before hazard visible
+            old_desc: _Descriptor = rt.deref(old_addr)
             old_nblocks = len(old_desc.blocks)
             new_nblocks = (new_length + self.block_size - 1) // self.block_size
             if new_nblocks > old_nblocks:
@@ -192,7 +248,7 @@ class RCUArray:
     def append(self, value: Any, token: Optional[Token] = None) -> int:
         """Append one element; returns its index (resize + write)."""
         while True:
-            desc = self._descriptor()
+            desc = self._descriptor(token)
             idx = desc.length
             snap = self._root.read_aba()
             if snap.get_object() != self._root.peek():
@@ -200,8 +256,8 @@ class RCUArray:
                 continue
             self.resize(idx + 1, token=token)
             # resize() may have raced; confirm our slot exists, then write.
-            if len(self) > idx:
-                self.write(idx, value)
+            if self._descriptor(token).length > idx:
+                self.write(idx, value, token)
                 return idx
 
     # ------------------------------------------------------------------

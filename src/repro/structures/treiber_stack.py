@@ -12,14 +12,18 @@ builds:
 * nodes are allocated on the *pushing task's* locale (PGAS-idiomatic:
   local allocation, atomic publication), so a stack naturally spans
   locales;
-* popped nodes are retired through an
-  :class:`~repro.core.epoch_manager.EpochManager` token when one is
-  supplied — the chicken-and-egg resolution: the stack needs reclamation,
-  the reclamation's own limbo machinery needs only the ABA wrapper.
+* popped nodes are retired through any guard from the pluggable
+  reclamation subsystem (:mod:`repro.reclaim`) — an EBR token, a
+  hazard-pointer guard, a QSBR or interval guard all work unchanged.
+  Under a hazard-pointer guard (``guard.needs_protect``) ``pop`` runs the
+  standard protect/validate handshake: publish the head in a hazard slot,
+  re-read the head, retry if it moved — the extra validation read is the
+  scheme's read-side price and is skipped entirely for every other
+  scheme.
 
-Without a token, popped nodes can either leak (safe, default) or be freed
+Without a guard, popped nodes can either leak (safe, default) or be freed
 immediately (``unsafe_free=True``), the latter existing specifically so
-tests can demonstrate the use-after-free EBR prevents.
+tests can demonstrate the use-after-free deferred reclamation prevents.
 """
 
 from __future__ import annotations
@@ -117,18 +121,25 @@ class LockFreeStack:
     def pop(self, token: Optional[Token] = None) -> Any:
         """Pop the top value; raises :class:`EmptyStructureError` when empty.
 
-        With ``token`` (a pinned epoch-manager token) the unlinked node is
-        deferred for safe reclamation; without one it leaks — or, with
-        ``unsafe_free=True``, is freed immediately (use-after-free fuel for
-        the tests that motivate EBR).
+        With ``token`` (a pinned reclamation guard of any scheme) the
+        unlinked node is deferred for safe reclamation; without one it
+        leaks — or, with ``unsafe_free=True``, is freed immediately
+        (use-after-free fuel for the tests that motivate deferred
+        reclamation).  Hazard-pointer guards additionally get the
+        protect/validate handshake before the dereference.
         """
         rt = self._rt
+        protecting = token is not None and token.needs_protect
         if self.aba_protection:
             while True:
                 old_head = self.head.read_aba()
                 addr = old_head.get_object()
                 if is_nil(addr):
                     raise EmptyStructureError("pop from empty LockFreeStack")
+                if protecting:
+                    token.protect(addr)
+                    if self.head.read_aba().get_object() != addr:
+                        continue  # head moved before the hazard was visible
                 node = rt.deref(addr)
                 next_addr = node.next
                 if self.head.compare_and_swap_aba(old_head, next_addr):
@@ -140,6 +151,10 @@ class LockFreeStack:
                 addr = self.head.read()
                 if is_nil(addr):
                     raise EmptyStructureError("pop from empty LockFreeStack")
+                if protecting:
+                    token.protect(addr)
+                    if self.head.read() != addr:
+                        continue  # head moved before the hazard was visible
                 node = rt.deref(addr)
                 next_addr = node.next
                 if self.head.compare_and_swap(addr, next_addr):

@@ -1,4 +1,4 @@
-"""Integration tests: the EpochManager's safety claims, end to end.
+"""Integration tests: reclamation safety claims, end to end.
 
 The headline guarantees from the paper, checked as observable behaviour:
 
@@ -10,6 +10,11 @@ The headline guarantees from the paper, checked as observable behaviour:
    participant has quiesced or re-pinned past its epoch — holds under
    randomized concurrent load;
 4. structures sharing one manager interoperate.
+
+The cross-scheme classes at the bottom re-run the ABA/use-after-free
+safety workloads through every scheme in :mod:`repro.reclaim` (EBR,
+hazard pointers, QSBR, interval-based) via the shared guard protocol —
+the same traffic, four different protection mechanisms, zero faults.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import pytest
 
 from repro.core import EpochManager
 from repro.errors import UseAfterFreeError
+from repro.reclaim import RECLAIMER_SCHEMES, make_reclaimer
 from repro.runtime import Runtime
 from repro.structures import (
     InterlockedHashTable,
@@ -255,6 +261,167 @@ class TestCrossStructureIntegration:
             rest = st.drain()
             assert sorted(moved + rest) == list(range(200))
             em.clear()
+
+        rt.run(main)
+
+
+@pytest.mark.parametrize("scheme", list(RECLAIMER_SCHEMES))
+class TestCrossSchemeSafety:
+    """The guard protocol's safety claims, per scheme.
+
+    Each test provokes the hazard the reclamation subsystem exists to
+    prevent and drives the same traffic through every scheme; the checked
+    heap turns any premature free into a deterministic failure.
+    """
+
+    def test_guarded_deref_stays_valid(self, rt, scheme):
+        """The staged τ1/τ2 interleaving, protected by each scheme.
+
+        τ1 protects its head snapshot (pin for the region schemes, pin +
+        hazard for HP); τ2 pops and retires the node; no amount of
+        reclamation may invalidate τ1's pointer until it lets go.
+        """
+        rec = make_reclaimer(rt, scheme)
+
+        def main():
+            st = LockFreeStack(rt, aba_protection=False)
+            st.push("victim")
+            tau1 = rec.register()
+            tau2 = rec.register()
+            tau1.pin()
+            tau1_addr = st.head.read()
+            tau1.protect(tau1_addr)  # no-op outside HP
+            tau2.pin()
+            assert st.pop(tau2) == "victim"  # deferred, NOT freed
+            tau2.unpin()
+            for _ in range(4):
+                rec.try_reclaim()
+            assert rt.deref(tau1_addr).value == "victim"  # still valid
+            tau1.unpin()
+            rec.phase_boundary()
+            rec.clear()
+            rec.destroy()
+
+        rt.run(main)
+
+    def test_same_workload_never_faults(self, rt, scheme):
+        """Concurrent push/pop churn through each scheme: zero hazards."""
+        rec = make_reclaimer(rt, scheme)
+        st = LockFreeStack(rt, aba_protection=True)
+        popped = []
+        lock = threading.Lock()
+
+        def body(i, guard):
+            guard.pin()
+            if i % 2 == 0:
+                st.push(i)
+            else:
+                v = st.try_pop(guard)
+                if v is not None:
+                    with lock:
+                        popped.append(v)
+            guard.unpin()
+
+        def main():
+            rt.forall(range(1000), body, task_init=rec.register,
+                      tasks_per_locale=4)
+            leftover = st.drain()
+            rec.phase_boundary()
+            rec.clear()
+            pushed = {i for i in range(1000) if i % 2 == 0}
+            assert sorted(popped + leftover) == sorted(pushed)
+            rec.destroy()
+
+        rt.run(main)  # any UAF would raise out of here
+
+    def test_queue_churn_never_faults(self, rt, scheme):
+        """MS-queue traffic (helping, dummy-node retirement) per scheme."""
+        rec = make_reclaimer(rt, scheme)
+
+        def main():
+            q = LockFreeQueue(rt, aba_protection=True)
+
+            def body(i, guard):
+                guard.pin()
+                q.enqueue(i, guard)
+                q.try_dequeue(guard)
+                guard.unpin()
+
+            rt.forall(range(400), body, task_init=rec.register,
+                      tasks_per_locale=2)
+            q.drain()
+            rec.phase_boundary()
+            rec.clear()
+            rec.destroy()
+
+        rt.run(main)
+
+    def test_exact_accounting_with_guards_everywhere(self, rt, scheme):
+        """Every node freed exactly once, whatever the scheme."""
+        rec = make_reclaimer(rt, scheme)
+
+        def main():
+            st = LockFreeStack(rt)
+
+            def body(i, guard):
+                guard.pin()
+                st.push(i)
+                assert st.pop(guard) is not None
+                guard.unpin()
+
+            rt.forall(range(400), body, task_init=rec.register)
+            rec.phase_boundary()
+            rec.clear()
+            rec.destroy()
+            return sum(loc.heap.stats.live for loc in rt.locales)
+
+        assert rt.run(main) == 0
+
+    def test_hash_table_rcu_updates(self, rt, scheme):
+        """Snapshot-RCU bucket updates retiring through each scheme."""
+        rec = make_reclaimer(rt, scheme)
+
+        def main():
+            table = InterlockedHashTable(rt, buckets=8, reclaimer=rec)
+
+            def body(i, guard):
+                guard.pin()
+                table.update("total", lambda v: v + 1, default=0,
+                             token=guard)
+                assert table.get("total", token=guard) >= 1
+                guard.unpin()
+
+            rt.forall(range(300), body, task_init=rec.register)
+            assert table.get("total") == 300
+            rec.phase_boundary()
+            rec.clear()
+            table.destroy()
+            rec.destroy()
+
+        rt.run(main)
+
+    def test_ordered_list_traversals(self, rt, scheme):
+        """Harris-list insert/remove with hand-over-hand protection."""
+        rec = make_reclaimer(rt, scheme)
+
+        def main():
+            lst = LockFreeOrderedList(rt)
+
+            def body(i, guard):
+                guard.pin()
+                lst.insert(i, i * 10, token=guard)
+                if i % 3 == 0 and i >= 3:
+                    lst.remove(i - 3, token=guard)
+                lst.contains(i, token=guard)
+                guard.unpin()
+
+            rt.forall(range(200), body, task_init=rec.register,
+                      tasks_per_locale=2)
+            keys = lst.unsafe_keys()
+            assert keys == sorted(set(keys))
+            rec.phase_boundary()
+            rec.clear()
+            rec.destroy()
 
         rt.run(main)
 
