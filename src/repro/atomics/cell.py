@@ -8,8 +8,12 @@ address pipeline — the resource that serializes concurrent operations on a
 Real-thread atomicity is provided by a per-cell lock; virtual time and
 communication counters are charged along routes precompiled by the
 runtime's :class:`~repro.comm.network.NetworkModel`, which applies the
-paper's routing rules (CPU vs NIC vs active message) based on where the
-calling task is and whether the runtime has network atomics.
+paper's routing rules (CPU vs NIC vs active message) based on the
+*distance class* between the calling task's locale and the cell's home
+(see :mod:`repro.comm.topology`) and whether the runtime has network
+atomics.  The cell caches its home's distance row — a tuple mapping
+source locale to class index — so resolving the route on the hot path is
+one tuple index, for any topology.
 
 Lock domains (the engine's one-lock-cycle-per-op design)
 --------------------------------------------------------
@@ -19,13 +23,15 @@ threads.  Doing those under separate locks costs two lock cycles per
 operation — the dominant wall-clock cost of the old engine — so the cell
 picks ONE lock at construction and runs the whole sequence under it:
 
-* Under ``ugni`` (non-opt-out narrow routes), every operation on the cell
-  passes through the home locale's NIC pipeline, so the **NIC's lock** is
-  the cell lock: NIC reservation, line reservation, and value commit all
-  happen in one critical section (``ServicePoint.serve_locked``).
-* Otherwise (``none`` network, or an opted-out cell) the **line's lock**
-  is the cell lock; a progress-thread service point on the remote path
-  keeps its own lock and is served nested inside (lock order is always
+* When every narrow route of the cell rides the *same* home-level point
+  (the flat ``ugni`` case: local and remote narrow atomics both pass the
+  home NIC pipeline), that point's lock is the cell lock: point
+  reservation, line reservation, and value commit all happen in one
+  critical section (``ServicePoint.serve_locked``).
+* Otherwise (``none`` network, an opted-out cell, or a multi-level
+  topology whose classes route through different points) the **line's
+  lock** is the cell lock; any home-level service point on a route keeps
+  its own lock and is served nested inside (lock order is always
   cell-lock → point-lock, never the reverse, so this cannot deadlock).
 
 The line's own lock is therefore bypassed on hot paths whenever the cell
@@ -59,6 +65,7 @@ class AtomicCell:
         "line",
         "name",
         "opt_out",
+        "_dist",
         "_narrow_hot",
         "_wide_hot",
         "_diags",
@@ -86,41 +93,49 @@ class AtomicCell:
         self.opt_out = opt_out
 
         # ---- precompiled charge plan (see module docstring) ------------
-        routes = runtime.network.atomic_route_table(home)
-        opt = 2 if opt_out else 0
-        narrow_remote, narrow_local = routes[opt], routes[opt | 1]
-        wide_remote, wide_local = routes[4 | opt], routes[4 | opt | 1]
+        # Per-distance-class route rows for this home; tuples are indexed
+        # by the caller's distance class (class 0 = the home itself).
+        rows = runtime.network.atomic_class_routes(home)
+        narrow_routes = rows[1] if opt_out else rows[0]
+        wide_routes = rows[3] if opt_out else rows[2]
+        #: Distance class of every source locale against this home.
+        self._dist = runtime.network.distance_row(home)
 
-        shared_nic = narrow_local.point
-        if shared_nic is not None and shared_nic is narrow_remote.point:
-            # ugni narrow routing: both localities ride the same NIC
-            # pipeline — adopt its lock and reserve it via serve_locked.
-            self._lock = shared_nic._lock
-            narrow_pair = (
-                self._plan(narrow_remote, shared_nic.serve_locked),
-                self._plan(narrow_local, shared_nic.serve_locked),
+        # Only classes that actually occur in this home's distance row can
+        # ever be indexed — a dragonfly whose locales all fit in one group
+        # must keep the one-lock-cycle fast path even though the (dead)
+        # inter-group class compiles a different point.
+        reachable = set(self._dist)
+        shared_point = narrow_routes[0].point
+        if shared_point is not None and all(
+            narrow_routes[ci].point is shared_point for ci in reachable
+        ):
+            # Every *reachable* narrow class rides one home-level point
+            # (flat ugni: the NIC pipeline) — adopt its lock and reserve
+            # it via serve_locked.  Unreachable classes keep their own
+            # point's self-locking serve; they are never indexed.
+            self._lock = shared_point._lock
+            narrow_plans = tuple(
+                self._plan(
+                    r, shared_point.serve_locked if ci in reachable else None
+                )
+                for ci, r in enumerate(narrow_routes)
             )
         else:
             self._lock = self.line._lock
-            narrow_pair = (
-                self._plan(narrow_remote, None),
-                self._plan(narrow_local, None),
-            )
-        # Wide (and any) routes through a progress thread keep that
-        # point's own lock and are served nested inside the cell lock.
-        self._narrow_hot = narrow_pair
-        self._wide_hot = (
-            self._plan(wide_remote, None),
-            self._plan(wide_local, None),
-        )
+            narrow_plans = tuple(self._plan(r, None) for r in narrow_routes)
+        # Wide (and any) routes through a progress thread or uplink keep
+        # that point's own lock and are served nested inside the cell lock.
+        self._narrow_hot = narrow_plans
+        self._wide_hot = tuple(self._plan(r, None) for r in wide_routes)
         self._diags = runtime.network.diags
         #: Hot-path bundle for the inlined integer fast paths: one
         #: attribute load + UNPACK_SEQUENCE hands a method everything it
-        #: needs (runtime for the identity check, locality inputs, routes,
+        #: needs (runtime for the identity check, the distance row, routes,
         #: diagnostics, and prebound lock/serve callables).
         self._hot = (
             runtime,
-            home,
+            self._dist,
             self._narrow_hot,
             self._diags,
             self._lock.acquire,
@@ -163,13 +178,13 @@ class AtomicCell:
             ctx = None
         if ctx is None:
             return
-        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
         if ctx.runtime is not rt:
             return
         locale = ctx.locale_id
         diag_index, latency, outer, point_service, line_service = (
             self._wide_hot if wide else narrow
-        )[locale == home]
+        )[dist[locale]]
         if diags._enabled:
             rows = ctx.diag_rows
             if rows is None:

@@ -86,11 +86,11 @@ class AtomicUInt64(AtomicCell):
         except AttributeError:  # thread never entered a task scope
             ctx = None
         if ctx is not None:
-            rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+            rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
             if ctx.runtime is rt:
                 locale = ctx.locale_id
                 diag_index, latency, outer, point_service, line_service = narrow[
-                    locale == home
+                    dist[locale]
                 ]
                 if diags._enabled:
                     rows = ctx.diag_rows
@@ -114,7 +114,7 @@ class AtomicUInt64(AtomicCell):
         The lock orders the store against in-flight read-modify-writes
         (a blind store racing a fetch_add must serialize, not vanish).
         """
-        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
         try:
             ctx = _context_tls.ctx
         except AttributeError:  # thread never entered a task scope
@@ -125,7 +125,7 @@ class AtomicUInt64(AtomicCell):
             return
         locale = ctx.locale_id
         diag_index, latency, outer, point_service, line_service = narrow[
-            locale == home
+            dist[locale]
         ]
         if diags._enabled:
             rows = ctx.diag_rows
@@ -155,7 +155,7 @@ class AtomicUInt64(AtomicCell):
     def exchange(self, value: int) -> int:
         """Atomically store ``value`` and return the previous value."""
         # Inlined narrow charge (Figure 3 mix hot path; see read()).
-        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
         try:
             ctx = _context_tls.ctx
         except AttributeError:  # thread never entered a task scope
@@ -167,7 +167,7 @@ class AtomicUInt64(AtomicCell):
                 return old
         locale = ctx.locale_id
         diag_index, latency, outer, point_service, line_service = narrow[
-            locale == home
+            dist[locale]
         ]
         if diags._enabled:
             rows = ctx.diag_rows
@@ -193,7 +193,7 @@ class AtomicUInt64(AtomicCell):
         Returns ``True`` on success (Chapel's ``compareAndSwap``).
         """
         # Inlined narrow charge (Figure 3 mix hot path; see read()).
-        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
         try:
             ctx = _context_tls.ctx
         except AttributeError:  # thread never entered a task scope
@@ -207,7 +207,7 @@ class AtomicUInt64(AtomicCell):
                 return False
         locale = ctx.locale_id
         diag_index, latency, outer, point_service, line_service = narrow[
-            locale == home
+            dist[locale]
         ]
         if diags._enabled:
             rows = ctx.diag_rows
@@ -303,11 +303,11 @@ class AtomicInt64(AtomicUInt64):
         except AttributeError:  # thread never entered a task scope
             ctx = None
         if ctx is not None:
-            rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+            rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
             if ctx.runtime is rt:
                 locale = ctx.locale_id
                 diag_index, latency, outer, point_service, line_service = narrow[
-                    locale == home
+                    dist[locale]
                 ]
                 if diags._enabled:
                     rows = ctx.diag_rows
@@ -336,7 +336,7 @@ class AtomicInt64(AtomicUInt64):
         Inlined like the base-class hot ops (25% of the Figure 3 mix); the
         only difference is the signed interpretation of the old value.
         """
-        rt, home, narrow, diags, acquire, release, line_serve_locked = self._hot
+        rt, dist, narrow, diags, acquire, release, line_serve_locked = self._hot
         try:
             ctx = _context_tls.ctx
         except AttributeError:  # thread never entered a task scope
@@ -348,7 +348,7 @@ class AtomicInt64(AtomicUInt64):
             return old - _TWO64 if old & _SIGN_BIT else old
         locale = ctx.locale_id
         diag_index, latency, outer, point_service, line_service = narrow[
-            locale == home
+            dist[locale]
         ]
         if diags._enabled:
             rows = ctx.diag_rows

@@ -17,6 +17,8 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --list
     python -m repro.bench scenarios --run hotspot-zipf queue-churn
     python -m repro.bench scenarios --run queue-churn --reclaimer hp
+    python -m repro.bench scenarios --run queue-churn --topology hier:2x2
+    python -m repro.bench scenarios --run hotspot-zipf --cost-profile wan
     python -m repro.bench scenarios --all --jobs 4 --out report.json
     python -m repro.bench scenarios --all --update-baselines
     python -m repro.bench scenarios --spec my_scenario.toml
@@ -24,7 +26,14 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
 ``--reclaimer {ebr,hp,qsbr,ibr}`` overrides the memory-reclamation scheme
 of every selected scenario (see docs/RECLAMATION.md); the JSON report's
 ``extra.em`` block carries each run's per-scheme retired / freed /
-peak-pending counts.
+peak-pending counts.  ``--topology`` (``flat``, ``hier:SxL``,
+``dragonfly:G`` — see docs/TOPOLOGY.md), ``--cost-profile``
+(``default``/``degraded``/``wan``) and ``--cost-scale`` override the
+simulated machine the same way; all four axes are recorded in reports
+and baselines, and a run whose axis differs from the recorded baseline
+reports ``incomparable`` instead of pretending to compare.  None of them
+can be combined with ``--update-baselines`` (a scenario's baseline pins
+the machine it was registered with).
 
 ``--run`` executes named scenarios (in parallel when ``--jobs`` > 1),
 writes a JSON report with virtual-time results and per-scenario regression
@@ -42,6 +51,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from ..comm.costs import COST_PROFILES
 from ..runtime.config import RECLAIMER_SCHEMES
 from . import ablations, figures, scenarios
 from .report import Panel, render_figure
@@ -86,6 +96,31 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         " 'incomparable' when the scheme differs from the recorded one)",
     )
     ap.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="override the interconnect topology of every selected scenario"
+        " ('flat', 'hier:SxL', 'dragonfly:G'; see docs/TOPOLOGY.md —"
+        " baseline verdicts become 'incomparable' when the shape differs"
+        " from the recorded one)",
+    )
+    ap.add_argument(
+        "--cost-profile",
+        choices=sorted(COST_PROFILES),
+        default=None,
+        help="override the cost-model profile of every selected scenario"
+        " (baseline verdicts become 'incomparable' when it differs from"
+        " the recorded one)",
+    )
+    ap.add_argument(
+        "--cost-scale",
+        type=float,
+        default=None,
+        help="uniformly scale every cost constant of every selected"
+        " scenario (sensitivity sweeps; baseline verdicts become"
+        " 'incomparable')",
+    )
+    ap.add_argument(
         "--ops-scale",
         type=float,
         default=None,
@@ -119,22 +154,38 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
 
     if args.update_baselines and args.ops_scale is not None and args.ops_scale != 1.0:
         ap.error("--update-baselines cannot be combined with --ops-scale")
-    if args.update_baselines and args.reclaimer is not None:
-        ap.error(
-            "--update-baselines cannot be combined with --reclaimer (a"
-            " scenario's baseline pins the scheme it was registered with)"
-        )
+    for flag, value in (
+        ("--reclaimer", args.reclaimer),
+        ("--topology", args.topology),
+        ("--cost-profile", args.cost_profile),
+        ("--cost-scale", args.cost_scale),
+    ):
+        if args.update_baselines and value is not None:
+            ap.error(
+                f"--update-baselines cannot be combined with {flag} (a"
+                " scenario's baseline pins the machine it was registered"
+                " with)"
+            )
 
     if args.list:
         print(f"{len(scenarios.scenario_names())} registered scenarios:\n")
+        header = (
+            f"  {'name':24s} {'workload':16s} {'machine':7s} {'net':5s}"
+            f" {'topology':12s} {'costs':8s}"
+        )
+        print(header)
+        print("  " + "-" * (len(header) - 2))
         for spec in scenarios.iter_scenarios():
             topo = spec.topology
+            machine = f"{topo.locales}x{topo.tasks_per_locale}"
+            costs = topo.cost_profile
+            if topo.cost_scale != 1.0:
+                costs += f"*{topo.cost_scale:g}"
             line = (
                 f"  {spec.name:24s} {spec.workload.kind:16s}"
-                f" {topo.locales:>3d}x{topo.tasks_per_locale} {topo.network:5s}"
+                f" {machine:7s} {topo.network:5s} {topo.topology:12s}"
+                f" {costs:8s}"
             )
-            if topo.cost_profile != "default":
-                line += f" [{topo.cost_profile}]"
             if topo.reclaimer != "ebr":
                 line += f" rec={topo.reclaimer}"
             print(line)
@@ -149,8 +200,21 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     else:
         specs = [scenarios.get_scenario(name) for name in args.run]
 
+    topo_overrides = {}
     if args.reclaimer is not None:
-        specs = [s.with_topology(reclaimer=args.reclaimer) for s in specs]
+        topo_overrides["reclaimer"] = args.reclaimer
+    if args.topology is not None:
+        topo_overrides["topology"] = args.topology
+    if args.cost_profile is not None:
+        topo_overrides["cost_profile"] = args.cost_profile
+    if args.cost_scale is not None:
+        topo_overrides["cost_scale"] = args.cost_scale
+    if topo_overrides:
+        try:
+            specs = [s.with_topology(**topo_overrides) for s in specs]
+        except scenarios.ScenarioError as exc:
+            print(f"error: {exc}")
+            return 2
     if args.ops_scale is not None:
         specs = [s.with_measure(ops_scale=args.ops_scale) for s in specs]
     if args.repeats is not None:

@@ -5,8 +5,10 @@ x two network flavours x one locale axis).  This module opens that grid
 up: a **scenario** is a small declarative description — loadable from a
 dict or a TOML file — of
 
-* a *topology*: locale count, network flavour, cost profile/scale/
-  overrides, tasks per locale, seed;
+* a *topology*: locale count, network flavour, interconnect shape
+  (flat / hierarchical / dragonfly distance classes — see
+  :mod:`repro.comm.topology`), cost profile/scale/overrides, tasks per
+  locale, seed;
 * a *workload shape*: one of the generators in
   :mod:`repro.bench.workloads`, with validated parameters;
 * *measurement knobs*: an operation-count scale for quick passes and a
@@ -36,6 +38,7 @@ Example TOML::
     [topology]
     locales = 16
     network = "none"
+    topology = "hier:2x2"
     cost_profile = "degraded"
 
     [workload]
@@ -65,6 +68,7 @@ from typing import (
 )
 
 from ..comm.costs import resolve_cost_model
+from ..comm.topology import parse_topology
 from ..errors import ReproError
 from ..runtime.config import RECLAIMER_SCHEMES, NetworkType, RuntimeConfig
 from ..runtime.runtime import Runtime
@@ -124,6 +128,14 @@ def _reject_unknown(doc: Mapping[str, Any], allowed: Sequence[str], where: str) 
 class TopologySpec:
     """The simulated machine a scenario runs on.
 
+    ``topology`` names the interconnect *shape* — the distance-class
+    structure of the machine (see :mod:`repro.comm.topology` and
+    docs/TOPOLOGY.md): ``"flat"`` (default — every remote peer
+    equidistant, the legacy model), ``"hier:SxL"`` (S sockets per node,
+    L CPU-coherent locales per socket, AM-priced shared uplinks between
+    nodes) or ``"dragonfly:G"`` (G-locale groups with degraded,
+    shared-uplink inter-group links).
+
     ``reclaimer`` selects the memory-reclamation scheme the workload's
     structures retire through (see :mod:`repro.reclaim` and
     docs/RECLAMATION.md): ``"ebr"`` (default — the paper's scheme),
@@ -133,6 +145,7 @@ class TopologySpec:
     locales: int = 8
     network: str = "ugni"
     tasks_per_locale: int = 1
+    topology: str = "flat"
     cost_profile: str = "default"
     cost_scale: float = 1.0
     cost_overrides: Tuple[Tuple[str, float], ...] = ()
@@ -156,6 +169,19 @@ class TopologySpec:
         except ValueError as exc:
             raise ScenarioError(f"topology.network: {exc}") from None
         object.__setattr__(self, "network", net.value)
+        if not isinstance(self.topology, str):
+            raise ScenarioError(
+                f"topology.topology must be a spec string (e.g. 'flat',"
+                f" 'hier:2x2', 'dragonfly:4'), got {self.topology!r}"
+            )
+        # Parse once for validation (shape errors name the valid kinds)
+        # and normalize to the canonical spec string, so baselines compare
+        # "hier" and "hier:2x2" as the same machine.
+        try:
+            topo = parse_topology(self.topology, self.locales)
+        except ValueError as exc:
+            raise ScenarioError(f"topology.topology: {exc}") from None
+        object.__setattr__(self, "topology", topo.spec())
         # Normalize a mapping into a hashable tuple of (field, value) pairs.
         overrides = self.cost_overrides
         if isinstance(overrides, Mapping):
@@ -200,6 +226,7 @@ class TopologySpec:
             seed=self.seed,
             worker_pool_size=self.worker_pool_size,
             reclaimer=self.reclaimer,
+            topology=self.topology,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -207,6 +234,7 @@ class TopologySpec:
             "locales": self.locales,
             "network": self.network,
             "tasks_per_locale": self.tasks_per_locale,
+            "topology": self.topology,
             "cost_profile": self.cost_profile,
             "cost_scale": self.cost_scale,
             "seed": self.seed,
@@ -282,6 +310,7 @@ def _adapt_churn(rt: Runtime, tpl: int, p: Dict[str, Any]) -> WorkloadResult:
         tasks_per_locale=tpl,
         rounds=p["rounds"],
         reclaim_between_rounds=p["reclaim_between_rounds"],
+        pairing=p["pairing"],
     )
 
 
@@ -349,6 +378,7 @@ WORKLOAD_KINDS: Dict[str, _WorkloadKind] = {
             ("items_per_task", 512),
             ("rounds", 2),
             ("reclaim_between_rounds", True),
+            ("pairing", "ring"),
         ),
         scaled=("items_per_task",),
         summary="producer-consumer churn over MsQueue/TreiberStack",
@@ -666,6 +696,9 @@ def baseline_entry(run: ScenarioRun) -> Dict[str, Any]:
     return {
         "ops_scale": run.spec.measure.ops_scale,
         "reclaimer": run.spec.topology.reclaimer,
+        "topology": run.spec.topology.topology,
+        "cost_profile": run.spec.topology.cost_profile,
+        "cost_scale": run.spec.topology.cost_scale,
         "elapsed_virtual_s": run.result.elapsed,
         "operations": run.result.operations,
         "comm": dict(run.result.comm),
@@ -684,15 +717,24 @@ def _baseline_status(run: ScenarioRun, baselines: Mapping[str, Any]) -> Dict[str
                 f" run used {run.spec.measure.ops_scale}"
             ),
         }
-    if base.get("reclaimer", "ebr") != run.spec.topology.reclaimer:
-        return {
-            "status": "incomparable",
-            "reason": (
-                f"baseline recorded with reclaimer="
-                f"{base.get('reclaimer', 'ebr')!r}, run used"
-                f" {run.spec.topology.reclaimer!r}"
-            ),
-        }
+    # Axes that change the simulated machine: a differing run is a
+    # different experiment, not a regression — report incomparable.
+    topo = run.spec.topology
+    for key, default, got in (
+        ("reclaimer", "ebr", topo.reclaimer),
+        ("topology", "flat", topo.topology),
+        ("cost_profile", "default", topo.cost_profile),
+        ("cost_scale", 1.0, topo.cost_scale),
+    ):
+        recorded = base.get(key, default)
+        if recorded != got:
+            return {
+                "status": "incomparable",
+                "reason": (
+                    f"baseline recorded with {key}={recorded!r}, run used"
+                    f" {got!r}"
+                ),
+            }
     same = (
         base.get("elapsed_virtual_s") == run.result.elapsed
         and base.get("operations") == run.result.operations
@@ -973,3 +1015,75 @@ _builtin(
         "rounds": 2,
     },
 )
+
+# Multi-level topologies (see repro.comm.topology and docs/TOPOLOGY.md):
+# the same workload shapes under hierarchical (sockets-in-nodes, shared
+# per-node uplinks) and dragonfly (degraded shared inter-group links)
+# machines.  The flat scenarios above stay bit-identical — these add the
+# locality axis the paper's single-machine evaluation could not vary.
+_builtin(
+    "topo-hier-hotspot",
+    "Zipf-1.2 hotspot on hier:2x2 (2 nodes x 2 sockets x 2 locales):"
+    " node 0's shared uplink — not just locale 0's NIC — is the contended"
+    " resource for cross-node traffic.",
+    {"locales": 8, "network": "ugni", "topology": "hier:2x2",
+     "tasks_per_locale": 2},
+    {"kind": "atomic_hotspot", "ops_per_task": 2048, "zipf_exponent": 1.2},
+)
+_builtin(
+    "topo-hier-rackaffine",
+    "Rack-affine producer-consumer churn on hier:2x2: consumers drain"
+    " their socket sibling's queue, so the drain phase rides the coherent"
+    " fabric instead of the interconnect.",
+    {"locales": 8, "network": "ugni", "topology": "hier:2x2"},
+    {"kind": "churn", "structure": "queue", "items_per_task": 512,
+     "rounds": 2, "pairing": "near"},
+)
+_builtin(
+    "topo-hier-crossnode",
+    "The same churn anti-localized: every consumer drains across the"
+    " node boundary, funnelling through the shared per-node uplinks —"
+    " the worst-case contrast to topo-hier-rackaffine.",
+    {"locales": 8, "network": "ugni", "topology": "hier:2x2"},
+    {"kind": "churn", "structure": "queue", "items_per_task": 512,
+     "rounds": 2, "pairing": "far"},
+)
+_builtin(
+    "topo-dragonfly-churn",
+    "Ring churn over a dragonfly:4 machine (2 groups of 4): one consumer"
+    " per group crosses the 4x-degraded optical link; the rest stay"
+    " intra-group.",
+    {"locales": 8, "network": "ugni", "topology": "dragonfly:4"},
+    {"kind": "churn", "structure": "queue", "items_per_task": 512,
+     "rounds": 2},
+)
+_builtin(
+    "topo-dragonfly-hotspot",
+    "Zipf hotspot on dragonfly:4 without network atomics: cross-group"
+    " AMs pay degraded latencies and serialize on the hot group's shared"
+    " uplink instead of one locale's progress thread.",
+    {"locales": 8, "network": "none", "topology": "dragonfly:4",
+     "tasks_per_locale": 2},
+    {"kind": "atomic_hotspot", "ops_per_task": 2048, "zipf_exponent": 1.2},
+)
+# EBR vs hazard pointers under hierarchy: HP's remote hazard scans cross
+# the uplinks, EBR's limbo lists privatize per locale — the reclamation
+# comparison the locality axis makes interesting.
+for _scheme in ("ebr", "hp"):
+    _builtin(
+        f"topo-hier-reclaim-{_scheme}",
+        f"Cross-scheme comparison under hierarchy ({_scheme}): 50%"
+        " deferDelete with half the objects remote on hier:2x2 — scan"
+        " traffic vs scatter economics when remote means 'across the"
+        " uplink'.",
+        {"locales": 8, "network": "ugni", "topology": "hier:2x2",
+         "reclaimer": _scheme},
+        {
+            "kind": "epoch_mixed",
+            "ops_per_task": 1024,
+            "write_percent": 50,
+            "remote_percent": 50,
+            "rounds": 2,
+        },
+    )
+del _scheme

@@ -650,6 +650,62 @@ def run_epoch_mixed(
     return rt.run(main)
 
 
+def _churn_partners(rt: Runtime, ntasks: int, pairing: str) -> List[int]:
+    """The consume-phase partner permutation for :func:`run_producer_consumer`.
+
+    Always a bijection over slots, so every structure keeps exactly one
+    mutator per phase (the determinism discipline above).  Computed from
+    locale ids and the topology only — never from runtime state — so the
+    mapping is identical on every run.
+
+    * ``"ring"`` — slot *i* drains slot *i+1* (the legacy shape).
+    * ``"near"`` — the candidate permutation (adjacent-pair involution or
+      any uniform rotation) that *minimizes* total topology distance —
+      rack-affine placement: on ``hier`` shapes with sibling locales the
+      involution wins (drain your coherent socket sibling); on shapes
+      with no coherent siblings the closest available rung wins instead
+      of silently pretending to be socket-local.  An odd slot count
+      leaves the involution's last slot draining its own (most local)
+      structure.
+    * ``"far"`` — the uniform rotation that *maximizes* total topology
+      distance (smallest offset wins ties, so flat topologies reduce to
+      the ring): deliberately anti-local cross-node/cross-group traffic.
+    """
+    if pairing == "ring":
+        return [(i + 1) % ntasks for i in range(ntasks)]
+    if pairing not in ("near", "far"):
+        raise ValueError(
+            f"unknown churn pairing {pairing!r}; expected one of"
+            f" ['far', 'near', 'ring']"
+        )
+    nloc = rt.num_locales
+    topo = rt.network.topology
+
+    def total_distance(partners: List[int]) -> int:
+        return sum(
+            topo.distance(i % nloc, partners[i] % nloc) for i in range(ntasks)
+        )
+
+    if pairing == "near":
+        involution = list(range(ntasks))
+        for i in range(0, ntasks - 1, 2):
+            involution[i], involution[i + 1] = i + 1, i
+        candidates = [involution] + [
+            [(i + d) % ntasks for i in range(ntasks)]
+            for d in range(1, ntasks)
+        ]
+        return min(candidates, key=total_distance)
+    # "far": rotations only (the involution can never beat the best
+    # rotation at maximizing, and rotations keep the traffic a cycle).
+    best, best_score = [(i + 1) % ntasks for i in range(ntasks)], -1
+    for d in range(1, ntasks):
+        candidate = [(i + d) % ntasks for i in range(ntasks)]
+        score = total_distance(candidate)
+        if score > best_score:
+            best, best_score = candidate, score
+    return best
+
+
 def run_producer_consumer(
     rt: Runtime,
     *,
@@ -658,6 +714,7 @@ def run_producer_consumer(
     tasks_per_locale: int = 1,
     rounds: int = 2,
     reclaim_between_rounds: bool = True,
+    pairing: str = "ring",
 ) -> WorkloadResult:
     """Producer-consumer churn over the non-blocking queue or stack.
 
@@ -665,11 +722,15 @@ def run_producer_consumer(
     plain-CAS mode (``aba_protection=False``) under EBR — the RDMA fast
     path the paper builds the reclamation system to enable.  Each round
     has a produce phase (slot *i* fills its own, locale-local structure)
-    and a consume phase (slot *i* drains slot *i+1*'s structure — remote
+    and a consume phase (slot *i* drains its partner's structure — remote
     CAS/GET traffic), with retirement of unlinked nodes deferred through
-    task tokens.  Phases are separate ``forall`` joins, so every structure
-    has exactly one mutator at a time: churn comes from allocation /
-    retirement / address reuse, not from scheduling-dependent CAS races.
+    task tokens.  ``pairing`` picks the consumer-to-producer mapping (see
+    :func:`_churn_partners`): the legacy ring, topology-``near``
+    (rack-affine: drain your socket sibling), or topology-``far``
+    (anti-local: drain across the uplinks).  Phases are separate
+    ``forall`` joins, so every structure has exactly one mutator at a
+    time: churn comes from allocation / retirement / address reuse, not
+    from scheduling-dependent CAS races.
     """
     from ..structures.msqueue import LockFreeQueue
     from ..structures.treiber_stack import LockFreeStack
@@ -681,6 +742,7 @@ def run_producer_consumer(
     _check_phased_reclaim(tasks_per_locale, rounds, reclaim_between_rounds)
     nloc = rt.num_locales
     ntasks = nloc * tasks_per_locale
+    partners = _churn_partners(rt, ntasks, pairing)
 
     def main() -> WorkloadResult:
         em = _reclaimer_for(rt)
@@ -713,7 +775,7 @@ def run_producer_consumer(
 
         def consume(slot: int, st: "_TokenSlot") -> None:
             tok = st.tok
-            s = structs[(slot + 1) % ntasks]
+            s = structs[partners[slot]]
             if structure == "queue":
                 for _ in range(items_per_task):
                     tok.pin()
@@ -754,6 +816,7 @@ def run_producer_consumer(
                 "em": em.stats(),
                 "reclaimer": rt.config.reclaimer,
                 "root_advances": advances,
+                "pairing": pairing,
             },
         )
 

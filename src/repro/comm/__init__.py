@@ -1,28 +1,49 @@
-"""Communication substrate: cost model, network routing, diagnostics.
+"""Communication substrate: cost model, topology, routing, diagnostics.
 
 * :class:`~repro.comm.costs.CostModel` — virtual-time calibration.
+* :class:`~repro.comm.topology.Topology` — multi-level interconnect
+  shapes (flat / hierarchical / dragonfly) partitioning locale pairs
+  into distance classes (see docs/TOPOLOGY.md).
 * :class:`~repro.comm.network.NetworkModel` — routes and charges every
   PGAS operation (the single choke point between algorithms and the
   simulated interconnect).
 * :class:`~repro.comm.counters.CommDiagnostics` — per-locale operation
   counters (Chapel ``CommDiagnostics`` analogue).
 * :class:`~repro.comm.routes.AtomicRoute` /
-  :class:`~repro.comm.routes.DataRoute` — precompiled per-home charging
-  recipes the hot paths index instead of re-branching per operation.
+  :class:`~repro.comm.routes.DataRoute` — precompiled per-(home,
+  distance class) charging recipes the hot paths index instead of
+  re-branching per operation.
 """
 
-from .costs import DEFAULT_COSTS, CostModel
+from .costs import DEFAULT_COSTS, CostModel, resolve_cost_model
 from .counters import CommDiagnostics, CommOp
 from .network import NetworkModel
 from .routes import AtomicRoute, DataRoute, atomic_route_index
+from .topology import (
+    DistanceClass,
+    DragonflyTopology,
+    FlatTopology,
+    HierarchicalTopology,
+    Topology,
+    parse_topology,
+    topology_names,
+)
 
 __all__ = [
     "CostModel",
     "DEFAULT_COSTS",
+    "resolve_cost_model",
     "NetworkModel",
     "CommDiagnostics",
     "CommOp",
     "AtomicRoute",
     "DataRoute",
     "atomic_route_index",
+    "Topology",
+    "DistanceClass",
+    "FlatTopology",
+    "HierarchicalTopology",
+    "DragonflyTopology",
+    "parse_topology",
+    "topology_names",
 ]

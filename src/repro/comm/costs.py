@@ -32,6 +32,7 @@ from typing import Dict, Mapping, Optional
 
 __all__ = [
     "CostModel",
+    "NETWORK_FIELDS",
     "DEFAULT_COSTS",
     "DEGRADED_COSTS",
     "WAN_COSTS",
@@ -43,6 +44,23 @@ __all__ = [
 _NS = 1e-9
 #: One microsecond.
 _US = 1e-6
+
+#: The *network-facing* cost fields: everything that models wire, NIC, or
+#: progress-thread work (as opposed to CPU-side work, which is the same on
+#: every link).  These are the fields a distance class's ``scale`` — and
+#: the ``degraded`` profile — multiply; see
+#: :meth:`CostModel.network_scaled` and :mod:`repro.comm.topology`.
+NETWORK_FIELDS = (
+    "nic_atomic_local_latency",
+    "nic_atomic_remote_latency",
+    "nic_atomic_service",
+    "am_latency",
+    "am_service",
+    "rdma_small_latency",
+    "rdma_byte_cost",
+    "rdma_service",
+    "task_spawn_remote",
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +151,22 @@ class CostModel:
         """
         return replace(self, **overrides)
 
+    def network_scaled(self, factor: float) -> "CostModel":
+        """Return a copy with only :data:`NETWORK_FIELDS` multiplied.
+
+        This is the per-distance-class axis of the cost model: a slower
+        *link* changes wire/NIC/progress-thread terms but not CPU-side
+        work.  ``factor == 1.0`` returns ``self`` unchanged (identity, so
+        the flat topology's routes are built from the very same model
+        object and stay bit-identical to the legacy compile).
+        """
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            **{name: getattr(self, name) * factor for name in NETWORK_FIELDS},
+        )
+
 
 #: The default calibration used by every benchmark unless overridden.
 DEFAULT_COSTS = CostModel()
@@ -141,17 +175,7 @@ DEFAULT_COSTS = CostModel()
 #: the default while CPU-side work is unchanged.  This widens the gap
 #: between the RDMA and active-message regimes — useful for asking whether
 #: a design's crossover points are artifacts of the default calibration.
-DEGRADED_COSTS = DEFAULT_COSTS.with_overrides(
-    nic_atomic_local_latency=DEFAULT_COSTS.nic_atomic_local_latency * 8,
-    nic_atomic_remote_latency=DEFAULT_COSTS.nic_atomic_remote_latency * 8,
-    nic_atomic_service=DEFAULT_COSTS.nic_atomic_service * 8,
-    am_latency=DEFAULT_COSTS.am_latency * 8,
-    am_service=DEFAULT_COSTS.am_service * 8,
-    rdma_small_latency=DEFAULT_COSTS.rdma_small_latency * 8,
-    rdma_byte_cost=DEFAULT_COSTS.rdma_byte_cost * 8,
-    rdma_service=DEFAULT_COSTS.rdma_service * 8,
-    task_spawn_remote=DEFAULT_COSTS.task_spawn_remote * 8,
-)
+DEGRADED_COSTS = DEFAULT_COSTS.network_scaled(8.0)
 
 #: A wide-area-style profile: latencies two orders of magnitude over the
 #: defaults (bandwidth-ish terms only 10x), for "would this design survive
@@ -180,15 +204,20 @@ def resolve_cost_model(
     profile: str = "default",
     *,
     scale: float = 1.0,
+    class_scale: float = 1.0,
     overrides: Optional[Mapping[str, float]] = None,
 ) -> CostModel:
     """Build a :class:`CostModel` from a named profile + adjustments.
 
     ``profile`` picks a base from :data:`COST_PROFILES`; ``scale``
-    multiplies every constant uniformly; ``overrides`` then replaces
-    individual fields.  Unknown profile names or override fields raise
-    ``ValueError`` listing the valid choices — this is the validation
-    surface the declarative scenario specs lean on.
+    multiplies every constant uniformly; ``class_scale`` is the
+    per-distance-class axis — it multiplies only the network-facing
+    fields (:data:`NETWORK_FIELDS`), which is how a topology's distance
+    classes derive their link calibration from one base model; and
+    ``overrides`` then replaces individual fields.  Unknown profile names
+    or override fields raise ``ValueError`` listing the valid choices —
+    this is the validation surface the declarative scenario specs lean
+    on.
     """
     try:
         model = COST_PROFILES[profile]
@@ -197,14 +226,19 @@ def resolve_cost_model(
             f"unknown cost profile {profile!r}; expected one of"
             f" {sorted(COST_PROFILES)}"
         ) from None
-    if (
-        not isinstance(scale, (int, float))
-        or isinstance(scale, bool)
-        or scale <= 0
-    ):
-        raise ValueError(f"cost scale must be a positive number, got {scale!r}")
+    for label, factor in (("cost scale", scale), ("class scale", class_scale)):
+        if (
+            not isinstance(factor, (int, float))
+            or isinstance(factor, bool)
+            or factor <= 0
+        ):
+            raise ValueError(
+                f"{label} must be a positive number, got {factor!r}"
+            )
     if scale != 1.0:
         model = model.scaled(scale)
+    if class_scale != 1.0:
+        model = model.network_scaled(class_scale)
     if overrides:
         bad = sorted(set(overrides) - set(CostModel.__dataclass_fields__))
         if bad:

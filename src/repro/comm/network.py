@@ -1,16 +1,19 @@
 """The network model: routing and charging every PGAS operation.
 
 This is the single choke point between algorithm code and the simulated
-interconnect.  Given the runtime's :class:`~repro.runtime.config.NetworkType`
-and :class:`~repro.comm.costs.CostModel`, it decides for each operation
+interconnect.  Given the runtime's :class:`~repro.runtime.config.NetworkType`,
+:class:`~repro.comm.costs.CostModel` and
+:class:`~repro.comm.topology.Topology`, it decides for each operation
 
 1. which *latency class* applies (CPU atomic / NIC atomic / active message /
-   RDMA data),
+   RDMA data) — a function of the operation, the network flavour, and the
+   **distance class** between the issuing locale and the home locale,
 2. which *serial resources* the operation occupies (the target locale's NIC
-   pipeline, its progress thread, and the target cache line), and
+   pipeline, its progress thread, its node/group's shared uplink, and the
+   target cache line), and
 3. which diagnostic counter to bump.
 
-Routing rules (straight from the paper):
+Routing rules for the flat (default) topology, straight from the paper:
 
 =====================  =======================  ==========================
 operation              ``ugni``                 ``none``
@@ -27,15 +30,28 @@ remote fork (``on``)   active message           active message
 The 128-bit row is why the paper's ``AtomicObject (ABA)`` cannot use the
 RDMA fast path: no interconnect offers a 16-byte network atomic.
 
+Multi-level topologies refine the "remote" column per distance class
+(see :mod:`repro.comm.topology` and docs/TOPOLOGY.md): a ``coherent``
+peer (same socket) pays CPU prices with no serial network resource, a
+``nic`` peer (same node) rides the NIC fabric, and an ``am``/uplink peer
+(cross-node, cross-group) pays scaled active-message prices through a
+*shared* uplink service point.  A 128-bit DCAS against a coherent peer is
+still a CPU ``CMPXCHG16B`` — coherence is exactly what a wide CAS needs.
+
 Because every input to a routing decision is fixed at construction time,
-the table above is *precompiled*: each home locale gets an 8-entry
-:class:`~repro.comm.routes.AtomicRoute` table (the (wide, opt_out, local)
-cube) and one :class:`~repro.comm.routes.DataRoute` per transfer class,
-built lazily on first use and cached for the runtime's life.  The hot
-paths (:meth:`charge_atomic`, :meth:`read`, :meth:`write`, :meth:`bulk`)
-are straight-line: one table index, one precompiled diagnostic bump, one
-or two service-point passes.  :meth:`atomic_op` keeps the branchy
-reference semantics as a thin wrapper over the same tables.
+the table above is *precompiled*: each home locale gets a per-distance-
+class :class:`~repro.comm.routes.AtomicRoute` table (rows: narrow/wide x
+plain/opt-out; columns: distance classes) plus one
+:class:`~repro.comm.routes.DataRoute` per (transfer class, distance
+class), built lazily on first use and cached for the runtime's life.
+Under the flat topology this collapses to the legacy 8-entry (wide,
+opt_out, local) cube — exposed unchanged via :meth:`atomic_route_table`
+and verified entry-by-entry against the branchy reference compile in
+tests/test_topology.py.  The hot paths (:meth:`charge_atomic`,
+:meth:`read`, :meth:`write`, :meth:`bulk`) are straight-line: one
+distance-row index, one precompiled diagnostic bump, one or two
+service-point passes.  :meth:`atomic_op` keeps the branchy reference
+semantics as a thin wrapper over the same tables.
 """
 
 from __future__ import annotations
@@ -46,6 +62,7 @@ from ..runtime.clock import ServicePoint, TaskClock
 from .costs import CostModel
 from .counters import CommDiagnostics, CommOp
 from .routes import AtomicRoute, DataRoute, atomic_route_index
+from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.config import RuntimeConfig
@@ -60,6 +77,8 @@ class NetworkModel:
     def __init__(self, config: RuntimeConfig) -> None:
         self.config = config
         self.costs: CostModel = config.costs
+        #: The interconnect shape (distance classes over locale pairs).
+        self.topology: Topology = config.resolved_topology()
         #: Per-locale NIC pipelines (serialize RDMA atomics & data ops).
         self.nic: List[ServicePoint] = [
             ServicePoint(f"nic[{i}]") for i in range(config.num_locales)
@@ -68,37 +87,243 @@ class NetworkModel:
         self.progress: List[ServicePoint] = [
             ServicePoint(f"progress[{i}]") for i in range(config.num_locales)
         ]
+        #: Shared uplink service points, one per topology uplink group —
+        #: only materialized when some distance class declares one (the
+        #: flat topology has none).
+        self.uplinks: dict = {}
+        if any(c.shared_uplink for c in self.topology.classes):
+            groups = {
+                self.topology.uplink_group(lid)
+                for lid in range(config.num_locales)
+            }
+            self.uplinks = {
+                g: ServicePoint(f"uplink[{g}]") for g in sorted(groups)
+            }
         #: Operation counters, bucketed by initiating locale.
         self.diags = CommDiagnostics(config.num_locales)
+        # Per-distance-class cost models: the base model with only the
+        # network-facing fields scaled by the class's link factor.  Scale
+        # 1.0 returns the base object itself, keeping flat-topology routes
+        # bit-identical to the legacy compile.
+        self._class_costs: Tuple[CostModel, ...] = tuple(
+            self.costs.network_scaled(c.scale) for c in self.topology.classes
+        )
+        #: Which classes are communication-free (self or CPU-coherent).
+        self._coherent_class: Tuple[bool, ...] = tuple(
+            i == 0 or c.transport == "coherent"
+            for i, c in enumerate(self.topology.classes)
+        )
         # Precompiled route caches, one slot per home locale, filled on
         # first use (a 2**16-locale machine should not pay for 2**16
         # tables up front).
         nloc = config.num_locales
+        self._dist_rows: List[Optional[Tuple[int, ...]]] = [None] * nloc
+        self._class_tables: List[
+            Optional[Tuple[Tuple[AtomicRoute, ...], ...]]
+        ] = [None] * nloc
         self._atomic_tables: List[Optional[Tuple[AtomicRoute, ...]]] = [None] * nloc
-        self._get_routes: List[Optional[DataRoute]] = [None] * nloc
-        self._put_routes: List[Optional[DataRoute]] = [None] * nloc
-        self._bulk_routes: List[Optional[DataRoute]] = [None] * nloc
+        self._get_routes: List[Optional[Tuple[Optional[DataRoute], ...]]] = [None] * nloc
+        self._put_routes: List[Optional[Tuple[Optional[DataRoute], ...]]] = [None] * nloc
+        self._bulk_routes: List[Optional[Tuple[Optional[DataRoute], ...]]] = [None] * nloc
+        self._ctrl_tables: List[Optional[tuple]] = [None] * nloc
         # Scalars lifted out of the hot paths.
         self._cpu_load_latency = self.costs.cpu_load_latency
         self._bulk_byte_cost = self.costs.rdma_byte_cost
 
     # ------------------------------------------------------------------
+    # topology plumbing
+    # ------------------------------------------------------------------
+    def distance_row(self, home: int) -> Tuple[int, ...]:
+        """Distance class of every source locale against ``home`` (cached).
+
+        Cells fetch this once at construction; the hot paths index it by
+        the issuing locale id — the only per-operation topology cost.
+        """
+        row = self._dist_rows[home]
+        if row is None:
+            row = self.topology.distance_row(home)
+            self._dist_rows[home] = row
+        return row
+
+    def is_coherent(self, src: int, dst: int) -> bool:
+        """True when ``src`` reaches ``dst`` without a network message
+        (the same locale, or a peer in the same CPU-coherence domain)."""
+        return self._coherent_class[self.distance_row(dst)[src]]
+
+    def spawn_broadcast_cost(self, src: int, targets) -> float:
+        """Per-hop cost of a spawn tree rooted at ``src`` spanning
+        ``targets``: ``task_spawn_remote`` scaled by the *worst* distance
+        class the broadcast crosses (a tree spanning a dragonfly's
+        degraded inter-group links pays the degraded per-hop price).  A
+        tree that never leaves ``src``'s coherence domain spawns over
+        shared memory — ``task_spawn_local`` per hop, matching
+        :meth:`remote_fork`'s pricing (and no-FORK accounting) for the
+        same peers.  Class 0 keeps the legacy ``task_spawn_remote``
+        constant: the pre-topology engine charged it for every spawn tree
+        regardless of locality, and the flat baselines pin that."""
+        # distance(src, target) orientation — rows are keyed by target.
+        worst = max(
+            (self.distance_row(t)[src] for t in targets), default=0
+        )
+        if worst and self._coherent_class[worst]:
+            return self.costs.task_spawn_local
+        return self._class_costs[worst].task_spawn_remote
+
+    def _class_point(
+        self, class_index: int, home: int, *, am_path: bool
+    ) -> ServicePoint:
+        """The serial resource class ``class_index`` ops against ``home``
+        occupy: the shared uplink when the class declares one, else the
+        home's NIC pipeline (``am_path=False``) or progress thread."""
+        if self.topology.classes[class_index].shared_uplink:
+            return self.uplinks[self.topology.uplink_group(home)]
+        return (self.progress if am_path else self.nic)[home]
+
+    # ------------------------------------------------------------------
     # route compilation
     # ------------------------------------------------------------------
+    def atomic_class_routes(
+        self, home: int
+    ) -> Tuple[Tuple[AtomicRoute, ...], ...]:
+        """The per-distance-class atomic route table for ``home``.
+
+        Four rows — ``[narrow-plain, narrow-opt-out, wide-plain,
+        wide-opt-out]`` (row index ``(2 if wide else 0) | (1 if opt_out
+        else 0)``) — each a tuple with one :class:`AtomicRoute` per
+        distance class, class 0 being the home locale itself.  Cells
+        fetch the rows for their own ``opt_out`` once at construction and
+        index them with their home's distance row.
+        """
+        table = self._class_tables[home]
+        if table is None:
+            table = self._compile_class_routes(home)
+            self._class_tables[home] = table
+        return table
+
+    def _compile_class_routes(
+        self, home: int
+    ) -> Tuple[Tuple[AtomicRoute, ...], ...]:
+        idx = CommDiagnostics.op_index
+        local_amo = idx(CommOp.LOCAL_AMO)
+        amo = idx(CommOp.AMO)
+        am = idx(CommOp.AM)
+        ugni = self.config.uses_network_atomics
+
+        narrow_plain: List[AtomicRoute] = []
+        narrow_opt: List[AtomicRoute] = []
+        wide: List[AtomicRoute] = []
+        for ci, cls in enumerate(self.topology.classes):
+            cc = self._class_costs[ci]
+            cpu = AtomicRoute(
+                local_amo, cc.cpu_atomic_latency, None, 0.0, cc.cpu_atomic_service
+            )
+            dcas_cpu = AtomicRoute(
+                local_amo, cc.cpu_dcas_latency, None, 0.0, cc.cpu_dcas_service
+            )
+            transport = cls.transport
+            if transport == "local":
+                # The issuing locale itself: under ugni even a local narrow
+                # atomic rides the NIC (network atomics are not coherent
+                # with CPU atomics); under none it is a plain CPU atomic.
+                if ugni:
+                    narrow = AtomicRoute(
+                        local_amo,
+                        cc.nic_atomic_local_latency,
+                        self.nic[home],
+                        cc.nic_atomic_service,
+                        cc.nic_atomic_service,
+                    )
+                else:
+                    narrow = cpu
+                narrow_plain.append(narrow)
+                narrow_opt.append(cpu)
+                wide.append(dcas_cpu)
+                continue
+            if transport == "coherent":
+                # Same CPU coherence domain: CPU prices, no network
+                # resource — and a wide CAS is still a local CMPXCHG16B.
+                narrow_plain.append(cpu)
+                narrow_opt.append(cpu)
+                wide.append(dcas_cpu)
+                continue
+            # Genuinely networked classes.  "remote" follows the flavour
+            # ("nic" under ugni, "am" under none); an explicit "nic"
+            # demotes to "am" when the network offers no atomics.
+            effective = transport
+            if effective == "remote":
+                effective = "nic" if ugni else "am"
+            elif effective == "nic" and not ugni:
+                effective = "am"
+            am_route = AtomicRoute(
+                am,
+                2.0 * cc.am_latency,
+                self._class_point(ci, home, am_path=True),
+                cc.am_service,
+                cc.cpu_atomic_service,
+            )
+            if effective == "nic":
+                narrow_plain.append(
+                    AtomicRoute(
+                        amo,
+                        cc.nic_atomic_remote_latency,
+                        self._class_point(ci, home, am_path=False),
+                        cc.nic_atomic_service,
+                        cc.nic_atomic_service,
+                    )
+                )
+            else:
+                narrow_plain.append(am_route)
+            # Opting out removes the NIC detour, not physics: a networked
+            # access to an opted-out atomic still pays the AM price.
+            narrow_opt.append(am_route)
+            # Remote DCAS = remote execution: round trip through the
+            # class's serial point, then the line.
+            wide.append(
+                AtomicRoute(
+                    am,
+                    2.0 * cc.am_latency,
+                    self._class_point(ci, home, am_path=True),
+                    cc.am_service,
+                    cc.cpu_dcas_service,
+                )
+            )
+        # ``wide`` ignores opt_out entirely (a DCAS is never a NIC op).
+        wide_row = tuple(wide)
+        return (tuple(narrow_plain), tuple(narrow_opt), wide_row, wide_row)
+
     def atomic_route_table(self, home: int) -> Tuple[AtomicRoute, ...]:
-        """The 8-entry precompiled atomic route table for ``home``.
+        """The legacy 8-entry (wide, opt_out, local) route cube for ``home``.
 
         Index layout: ``(wide << 2) | (opt_out << 1) | local`` — see
-        :func:`repro.comm.routes.atomic_route_index`.  Cells fetch this
-        once at construction; all cells on one home share one table.
+        :func:`repro.comm.routes.atomic_route_index`.  Only meaningful
+        for two-class topologies (flat), where "remote" is a single
+        class; multi-level topologies must use
+        :meth:`atomic_class_routes`.  Kept for tests and back-compat.
         """
         table = self._atomic_tables[home]
         if table is None:
-            table = self._compile_atomic_table(home)
+            if len(self.topology.classes) != 2:
+                raise ValueError(
+                    f"atomic_route_table is the flat (two-class) view;"
+                    f" topology {self.topology.spec()!r} has"
+                    f" {len(self.topology.classes)} distance classes —"
+                    f" use atomic_class_routes(home) instead"
+                )
+            rows = self.atomic_class_routes(home)
+            flat: List[Optional[AtomicRoute]] = [None] * 8
+            for wide in (False, True):
+                for opt_out in (False, True):
+                    row = rows[(2 if wide else 0) | (1 if opt_out else 0)]
+                    flat[atomic_route_index(wide, opt_out, True)] = row[0]
+                    flat[atomic_route_index(wide, opt_out, False)] = row[1]
+            table = tuple(flat)
             self._atomic_tables[home] = table
         return table
 
-    def _compile_atomic_table(self, home: int) -> Tuple[AtomicRoute, ...]:
+    def _compile_legacy_atomic_table(self, home: int) -> Tuple[AtomicRoute, ...]:
+        """The pre-topology branchy compile, kept as the reference the
+        flat per-class compile is verified against (entry by entry) in
+        tests/test_topology.py.  Not used on any production path."""
         c = self.costs
         idx = CommDiagnostics.op_index
         local_amo = idx(CommOp.LOCAL_AMO)
@@ -116,14 +341,10 @@ class NetworkModel:
         dcas_local = AtomicRoute(
             local_amo, c.cpu_dcas_latency, None, 0.0, c.cpu_dcas_service
         )
-        # Remote DCAS = remote execution: round trip through the target's
-        # progress thread, then the line.
         dcas_remote = AtomicRoute(
             am, 2.0 * c.am_latency, progress, c.am_service, c.cpu_dcas_service
         )
         if self.config.uses_network_atomics:
-            # ugni: every narrow atomic — even a locale-local one — rides
-            # the NIC (network atomics are not coherent with CPU atomics).
             narrow_local = AtomicRoute(
                 local_amo,
                 c.nic_atomic_local_latency,
@@ -139,12 +360,8 @@ class NetworkModel:
                 c.nic_atomic_service,
             )
         else:
-            # none: local is a CPU atomic, remote demotes to an AM round trip.
             narrow_local = cpu_local
             narrow_remote = cpu_remote
-        # Opting out removes the NIC detour, not physics: a remote access
-        # to an opted-out atomic still pays the active-message price.
-        # ``wide`` ignores opt_out entirely (a DCAS is never a NIC op).
         table: List[Optional[AtomicRoute]] = [None] * 8
         for wide in (False, True):
             for opt_out in (False, True):
@@ -158,21 +375,50 @@ class NetworkModel:
                 table[atomic_route_index(wide, opt_out, True)] = local
         return tuple(table)
 
-    def _data_route(
-        self, cache: List[Optional[DataRoute]], home: int, op: str
-    ) -> DataRoute:
-        route = cache[home]
-        if route is None:
-            c = self.costs
-            route = DataRoute(
-                CommDiagnostics.op_index(op),
-                c.rdma_small_latency,
-                c.rdma_byte_cost,
-                self.nic[home],
-                c.rdma_service,
+    def _data_routes(
+        self,
+        cache: List[Optional[Tuple[Optional[DataRoute], ...]]],
+        home: int,
+        op: str,
+    ) -> Tuple[Optional[DataRoute], ...]:
+        routes = cache[home]
+        if routes is None:
+            diag = CommDiagnostics.op_index(op)
+            built: List[Optional[DataRoute]] = []
+            for ci in range(len(self.topology.classes)):
+                if self._coherent_class[ci]:
+                    # Self / same coherence domain: a bare local load —
+                    # callers take the no-route fast path.
+                    built.append(None)
+                    continue
+                cc = self._class_costs[ci]
+                built.append(
+                    DataRoute(
+                        diag,
+                        cc.rdma_small_latency,
+                        cc.rdma_byte_cost,
+                        self._class_point(ci, home, am_path=False),
+                        cc.rdma_service,
+                    )
+                )
+            routes = tuple(built)
+            cache[home] = routes
+        return routes
+
+    def _ctrl_routes(self, home: int) -> tuple:
+        """Per-class control-plane recipes for AMs/forks/allocs against
+        ``home``: ``None`` for communication-free classes, else
+        ``(point, class_costs)``."""
+        table = self._ctrl_tables[home]
+        if table is None:
+            table = tuple(
+                None
+                if self._coherent_class[ci]
+                else (self._class_point(ci, home, am_path=True), self._class_costs[ci])
+                for ci in range(len(self.topology.classes))
             )
-            cache[home] = route
-        return route
+            self._ctrl_tables[home] = table
+        return table
 
     # ------------------------------------------------------------------
     # internals
@@ -234,26 +480,24 @@ class NetworkModel:
         """Charge one atomic memory operation against locale ``home``.
 
         Reference entry point mirroring the routing table in the module
-        docstring; resolves the precompiled route and defers to
-        :meth:`charge_atomic`.  Cells bypass this wrapper by caching their
-        home's table at construction.
+        docstring; resolves the precompiled route for the caller's
+        distance class and defers to :meth:`charge_atomic`.  Cells bypass
+        this wrapper by caching their home's rows at construction.
 
         ``wide=True`` selects the 128-bit DCAS rules (never RDMA).
 
         ``opt_out=True`` models the paper's deliberate avoidance of network
         atomics for variables that are only ever accessed locally (e.g. the
         per-locale limbo-list heads): the op is priced as a CPU atomic even
-        under ``ugni``.  A remote access to an opted-out atomic still pays
-        the active-message price — opting out removes the NIC detour, not
-        physics.
+        under ``ugni``.  A networked access to an opted-out atomic still
+        pays the active-message price — opting out removes the NIC detour,
+        not physics.
         """
-        table = self.atomic_route_table(home)
-        index = (
-            (4 if wide else 0)
-            | (2 if opt_out else 0)
-            | (1 if ctx.locale_id == home else 0)
+        rows = self.atomic_class_routes(home)
+        row = rows[(2 if wide else 0) | (1 if opt_out else 0)]
+        self.charge_atomic(
+            ctx, line, row[self.distance_row(home)[ctx.locale_id]]
         )
-        self.charge_atomic(ctx, line, table[index])
 
     # ------------------------------------------------------------------
     # one-sided data movement
@@ -261,12 +505,17 @@ class NetworkModel:
     def read(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a GET of ``nbytes`` from locale ``home``."""
         clock = ctx.clock
-        if ctx.locale_id == home:
+        row = self._dist_rows[home]
+        if row is None:
+            row = self.distance_row(home)
+        routes = self._get_routes[home]
+        if routes is None:
+            routes = self._data_routes(self._get_routes, home, CommOp.GET)
+        r = routes[row[ctx.locale_id]]
+        if r is None:
+            # Self or coherent peer: one local load, no communication.
             clock.now += self._cpu_load_latency
             return
-        r = self._get_routes[home]
-        if r is None:
-            r = self._data_route(self._get_routes, home, CommOp.GET)
         # Thread-local stripe, not the ctx cache (see charge_atomic).
         self.diags.record_index(ctx.locale_id, r.diag_index)
         t = clock.now + r.latency + nbytes * r.byte_cost
@@ -275,12 +524,16 @@ class NetworkModel:
     def write(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a PUT of ``nbytes`` to locale ``home``."""
         clock = ctx.clock
-        if ctx.locale_id == home:
+        row = self._dist_rows[home]
+        if row is None:
+            row = self.distance_row(home)
+        routes = self._put_routes[home]
+        if routes is None:
+            routes = self._data_routes(self._put_routes, home, CommOp.PUT)
+        r = routes[row[ctx.locale_id]]
+        if r is None:
             clock.now += self._cpu_load_latency
             return
-        r = self._put_routes[home]
-        if r is None:
-            r = self._data_route(self._put_routes, home, CommOp.PUT)
         # Thread-local stripe, not the ctx cache (see charge_atomic).
         self.diags.record_index(ctx.locale_id, r.diag_index)
         t = clock.now + r.latency + nbytes * r.byte_cost
@@ -289,12 +542,16 @@ class NetworkModel:
     def bulk(self, ctx: "TaskContext", home: int, nbytes: int) -> None:
         """Charge a bulk one-sided transfer of ``nbytes`` to/from ``home``."""
         clock = ctx.clock
-        if ctx.locale_id == home:
+        row = self._dist_rows[home]
+        if row is None:
+            row = self.distance_row(home)
+        routes = self._bulk_routes[home]
+        if routes is None:
+            routes = self._data_routes(self._bulk_routes, home, CommOp.BULK)
+        r = routes[row[ctx.locale_id]]
+        if r is None:
             clock.now += self._cpu_load_latency + nbytes * self._bulk_byte_cost
             return
-        r = self._bulk_routes[home]
-        if r is None:
-            r = self._data_route(self._bulk_routes, home, CommOp.BULK)
         self.diags.record_bulk(ctx.locale_id, nbytes)
         t = clock.now + r.latency + nbytes * r.byte_cost
         clock.now = r.point.serve(t, r.service)
@@ -304,42 +561,45 @@ class NetworkModel:
     # ------------------------------------------------------------------
     def remote_fork(self, ctx: "TaskContext", target: int) -> None:
         """Charge initiating an ``on`` statement (blocking remote fork)."""
-        if ctx.locale_id == target:
+        dclass = self.distance_row(target)[ctx.locale_id]
+        if dclass == 0:
             return
-        c = self.costs
+        ctrl = self._ctrl_routes(target)[dclass]
+        if ctrl is None:
+            # Coherent peer: scheduling a task on a core we share memory
+            # with — a local spawn, no message, so (like every other
+            # coherent-class charge) nothing is recorded in comm diags.
+            ctx.clock.advance(self.costs.task_spawn_local)
+            return
         self.diags.record(ctx.locale_id, CommOp.FORK)
-        self._serve(
-            ctx.clock,
-            c.task_spawn_remote,
-            (self.progress[target],),
-            (c.am_service,),
-        )
+        point, cc = ctrl
+        self._serve(ctx.clock, cc.task_spawn_remote, (point,), (cc.am_service,))
 
     def remote_return(self, ctx: "TaskContext", origin: int) -> None:
         """Charge returning from an ``on`` statement back to ``origin``."""
-        if ctx.locale_id == origin:
+        dclass = self.distance_row(origin)[ctx.locale_id]
+        if dclass == 0:
+            return
+        ctrl = self._ctrl_routes(origin)[dclass]
+        if ctrl is None:
+            # Coherent peer: no return message either (see remote_fork).
+            ctx.clock.advance(self._cpu_load_latency)
             return
         self.diags.record(ctx.locale_id, CommOp.AM)
-        self._serve(
-            ctx.clock,
-            self.costs.am_latency,
-            (self.progress[origin],),
-            (self.costs.am_service,),
-        )
+        point, cc = ctrl
+        self._serve(ctx.clock, cc.am_latency, (point,), (cc.am_service,))
 
     def am_roundtrip(self, ctx: "TaskContext", target: int) -> None:
         """Charge a generic RPC to ``target`` (request + response)."""
-        c = self.costs
-        if ctx.locale_id == target:
-            ctx.clock.advance(c.cpu_load_latency)
+        ctrl_row = self._ctrl_routes(target)
+        ctrl = ctrl_row[self.distance_row(target)[ctx.locale_id]]
+        if ctrl is None:
+            # Self or coherent peer: a direct call over shared memory.
+            ctx.clock.advance(self._cpu_load_latency)
             return
         self.diags.record(ctx.locale_id, CommOp.AM)
-        self._serve(
-            ctx.clock,
-            2.0 * c.am_latency,
-            (self.progress[target],),
-            (c.am_service,),
-        )
+        point, cc = ctrl
+        self._serve(ctx.clock, 2.0 * cc.am_latency, (point,), (cc.am_service,))
 
     # ------------------------------------------------------------------
     # memory management costs
@@ -347,36 +607,33 @@ class NetworkModel:
     def alloc(self, ctx: "TaskContext", home: int) -> None:
         """Charge allocating one object on ``home``.
 
-        A remote allocation is remote execution (an AM round trip), which is
-        why the paper allocates nodes locally and publishes them with one
-        atomic.
+        A non-coherent remote allocation is remote execution (an AM round
+        trip), which is why the paper allocates nodes locally and
+        publishes them with one atomic.  A coherent peer's heap is shared
+        memory: no message, just the allocator cost.
         """
         c = self.costs
-        if ctx.locale_id == home:
-            ctx.clock.advance(c.alloc_latency)
-        else:
+        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
             self.am_roundtrip(ctx, home)
-            ctx.clock.advance(c.alloc_latency)
+        ctx.clock.advance(c.alloc_latency)
 
     def free(self, ctx: "TaskContext", home: int) -> None:
-        """Charge freeing one object on ``home`` (remote => RPC)."""
+        """Charge freeing one object on ``home`` (non-coherent => RPC)."""
         c = self.costs
-        if ctx.locale_id == home:
-            ctx.clock.advance(c.free_latency)
-        else:
+        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
             self.am_roundtrip(ctx, home)
-            ctx.clock.advance(c.free_latency)
+        ctx.clock.advance(c.free_latency)
 
     def bulk_free(self, ctx: "TaskContext", home: int, count: int) -> None:
         """Charge freeing ``count`` objects on ``home`` as one batch.
 
-        This is the scatter-list payoff: one RPC (if remote) plus an
+        This is the scatter-list payoff: one RPC (if non-coherent) plus an
         amortized per-object cost, instead of ``count`` RPCs.
         """
         if count <= 0:
             return
         c = self.costs
-        if ctx.locale_id != home:
+        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.free_latency + (count - 1) * c.bulk_free_per_object)
 
@@ -392,5 +649,7 @@ class NetworkModel:
         for p in self.nic:
             p.reset()
         for p in self.progress:
+            p.reset()
+        for p in self.uplinks.values():
             p.reset()
         self.diags.reset()

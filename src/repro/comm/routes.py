@@ -9,14 +9,19 @@ time, the decision itself can be made exactly once.
 
 This module defines the two flavours of precompiled route:
 
-* :class:`AtomicRoute` — one atomic-operation recipe.  Eight of these per
-  home locale (the (wide, opt_out, local) cube, laid out by
-  :func:`atomic_route_index`) cover every possible atomic op against
-  that locale; cells share their home's table, pre-slice it into
-  (remote, local) pairs at construction (``AtomicCell._plan``), and the
-  hot path reduces to one boolean index.
-* :class:`DataRoute` — one GET/PUT/BULK recipe per home locale, carrying
-  the byte-cost slope so any transfer size reuses the same route.
+* :class:`AtomicRoute` — one atomic-operation recipe.  Routes are
+  compiled per (home locale, wide?, opt_out?, **distance class**) — see
+  :mod:`repro.comm.topology`; under the default two-class
+  :class:`~repro.comm.topology.FlatTopology` this collapses to the
+  legacy 8-entry (wide, opt_out, local) cube laid out by
+  :func:`atomic_route_index`, entry for entry.  Cells share their home's
+  table, pre-slice the rows for their own ``opt_out`` at construction
+  (``AtomicCell._plan``), and the hot path reduces to one distance-row
+  index.
+* :class:`DataRoute` — one GET/PUT/BULK recipe per (home locale,
+  distance class), carrying the byte-cost slope so any transfer size
+  reuses the same route.  Coherent classes (same socket) compile to no
+  route at all — the charge is a bare local-load clock advance.
 
 Charging semantics are bit-identical to the branchy reference
 implementation (kept as ``NetworkModel.atomic_op`` for tests and docs):
@@ -82,12 +87,13 @@ class AtomicRoute:
 
 
 class DataRoute:
-    """One precompiled one-sided-transfer recipe for a home locale.
+    """One precompiled one-sided-transfer recipe for a (home, class) pair.
 
     Total latency for ``nbytes`` is ``latency + nbytes * byte_cost``; the
-    transfer then occupies ``point`` (the home's NIC pipeline) for
-    ``service`` seconds.  Local transfers never construct one of these —
-    they are a bare clock advance on the issuing task.
+    transfer then occupies ``point`` — the home's NIC pipeline, or its
+    shared uplink for cross-node/cross-group classes — for ``service``
+    seconds.  Local and coherent-class transfers never construct one of
+    these — they are a bare clock advance on the issuing task.
     """
 
     __slots__ = ("diag_index", "latency", "byte_cost", "point", "service")
@@ -97,7 +103,7 @@ class DataRoute:
         diag_index: int,
         latency: float,
         byte_cost: float,
-        point: "ServicePoint",
+        point: "Optional[ServicePoint]",
         service: float,
     ) -> None:
         self.diag_index = diag_index

@@ -156,11 +156,13 @@ class AtomicObject:
         self._lock = threading.Lock()
         #: Per-cell contention point (hot-line serialization).
         self.line = ServicePoint(name or f"atomicobject@{self.home}")
-        #: Precompiled atomic routes for the home locale, pre-sliced into
-        #: (remote, local) pairs (opt_out never applies to AtomicObject).
-        routes = runtime.network.atomic_route_table(self.home)
-        self._narrow_routes = (routes[0], routes[1])
-        self._wide_routes = (routes[4], routes[5])
+        #: Precompiled per-distance-class atomic routes for the home
+        #: locale (opt_out never applies to AtomicObject), indexed by the
+        #: caller's distance class via the cached distance row.
+        rows = runtime.network.atomic_class_routes(self.home)
+        self._narrow_routes = rows[0]
+        self._wide_routes = rows[2]
+        self._dist = runtime.network.distance_row(self.home)
         self._addr: GlobalAddress = initial
         self._count = 0
         self._descriptors: Optional[DescriptorTable] = (
@@ -189,7 +191,7 @@ class AtomicObject:
         ctx = maybe_context()
         if ctx is not None and ctx.runtime is self._rt:
             route = (self._wide_routes if wide else self._narrow_routes)[
-                ctx.locale_id == self.home
+                self._dist[ctx.locale_id]
             ]
             self._rt.network.charge_atomic(ctx, self.line, route)
 

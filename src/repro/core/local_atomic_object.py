@@ -51,12 +51,14 @@ class LocalAtomicObject:
         self.line = ServicePoint(name or f"localatomic@{self.home}")
         self._addr = self._validate(initial)
         self._count = 0
-        #: Precompiled atomic routes for the home locale, pre-sliced into
-        #: (remote, local) pairs: narrow ops opt out of network atomics,
-        #: wide ops take the DCAS rows (where opt_out is irrelevant).
-        routes = runtime.network.atomic_route_table(self.home)
-        self._narrow_routes = (routes[2], routes[3])
-        self._wide_routes = (routes[4], routes[5])
+        #: Precompiled per-distance-class atomic routes for the home
+        #: locale: narrow ops opt out of network atomics, wide ops take
+        #: the DCAS rows (where opt_out is irrelevant).  Indexed by the
+        #: caller's distance class via the cached distance row.
+        rows = runtime.network.atomic_class_routes(self.home)
+        self._narrow_routes = rows[1]
+        self._wide_routes = rows[2]
+        self._dist = runtime.network.distance_row(self.home)
 
     # ------------------------------------------------------------------
     def _validate(self, addr: GlobalAddress) -> GlobalAddress:
@@ -79,7 +81,7 @@ class LocalAtomicObject:
             # (which the locale check above makes useless anyway) would
             # price as AM.
             route = (self._wide_routes if wide else self._narrow_routes)[
-                ctx.locale_id == self.home
+                self._dist[ctx.locale_id]
             ]
             self._rt.network.charge_atomic(ctx, self.line, route)
 

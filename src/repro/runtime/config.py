@@ -20,9 +20,10 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from ..comm.costs import CostModel, DEFAULT_COSTS
+from ..comm.topology import Topology, parse_topology
 from ..errors import LocaleError
 
 __all__ = ["NetworkType", "RuntimeConfig", "RECLAIMER_SCHEMES"]
@@ -101,6 +102,13 @@ class RuntimeConfig:
         Allocation alignment in bytes. Must be a power of two >= 2; the low
         ``log2(alignment)`` bits of every address are guaranteed zero, which
         the Harris list uses for its logical-deletion mark bit.
+    topology:
+        Interconnect shape: a spec string (``"flat"`` — the default and
+        the legacy behaviour — ``"hier:2x2"``, ``"dragonfly:4"``), a
+        mapping, or a :class:`~repro.comm.topology.Topology` instance.
+        Determines the distance class — and therefore the cost route and
+        contention point — of every (source, home) locale pair.  See
+        docs/TOPOLOGY.md.
     """
 
     num_locales: int = 4
@@ -112,6 +120,7 @@ class RuntimeConfig:
     heap_alignment: int = 16
     worker_pool_size: Optional[int] = None
     reclaimer: str = "ebr"
+    topology: Any = "flat"
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -138,10 +147,24 @@ class RuntimeConfig:
             )
         # Normalize string network names passed positionally.
         object.__setattr__(self, "network", NetworkType.parse(self.network))
+        # Resolve (and thereby validate) the topology spec eagerly; the
+        # instance is cached outside the dataclass fields so replace()
+        # re-resolves and frozen semantics are preserved.
+        object.__setattr__(
+            self,
+            "_topology_obj",
+            parse_topology(self.topology, self.num_locales),
+        )
 
     def with_(self, **overrides) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def resolved_topology(self) -> Topology:
+        """The :class:`~repro.comm.topology.Topology` instance this config
+        describes (``topology`` may be a string spec, mapping, or object;
+        see :func:`repro.comm.topology.parse_topology`)."""
+        return self._topology_obj
 
     @classmethod
     def from_topology(
@@ -156,6 +179,7 @@ class RuntimeConfig:
         seed: int = 0xC0FFEE,
         worker_pool_size: Optional[int] = None,
         reclaimer: str = "ebr",
+        topology: Any = "flat",
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -163,8 +187,11 @@ class RuntimeConfig:
         (:mod:`repro.bench.scenarios`) uses: the cost model is named by
         *profile* (see :data:`repro.comm.costs.COST_PROFILES`) and adjusted
         with a uniform ``cost_scale`` and per-field ``cost_overrides``
-        instead of being passed as an object, so a TOML file can describe
-        the whole machine.
+        instead of being passed as an object, and the interconnect shape
+        — node/socket/group structure — by a ``topology`` spec string
+        (``"flat"``, ``"hier:2x2"``, ``"dragonfly:4"``; see
+        :func:`repro.comm.topology.parse_topology`), so a TOML file can
+        describe the whole machine.
         """
         from ..comm.costs import resolve_cost_model
 
@@ -178,6 +205,7 @@ class RuntimeConfig:
             seed=seed,
             worker_pool_size=worker_pool_size,
             reclaimer=reclaimer,
+            topology=topology,
         )
 
     @property

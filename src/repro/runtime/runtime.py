@@ -159,6 +159,21 @@ class Runtime:
         """Number of simulated locales."""
         return self.config.num_locales
 
+    @property
+    def topology(self):
+        """The interconnect :class:`~repro.comm.topology.Topology`."""
+        return self.network.topology
+
+    def locale_distance(self, src: int, dst: int) -> int:
+        """Distance-class index between two locales (0 = same locale).
+
+        Smaller is closer; the class's meaning (coherent / NIC / uplink)
+        is topology-specific — see ``rt.topology.classes``.
+        """
+        self.locale(src)
+        self.locale(dst)
+        return self.network.topology.distance(src, dst)
+
     def locale(self, locale_id: int) -> Locale:
         """Return the :class:`Locale` with the given id (validated)."""
         if not (0 <= locale_id < self.num_locales):
@@ -397,11 +412,18 @@ class Runtime:
         ctx = current_context()
         ids = list(range(self.num_locales)) if locales is None else list(locales)
         costs = self.config.costs
-        overhead = spawn_tree_overhead(len(ids), costs.task_spawn_remote)
+        # Per-hop spawn cost reflects the worst distance class the
+        # broadcast tree spans (flat: exactly task_spawn_remote).
+        overhead = spawn_tree_overhead(
+            len(ids), self.network.spawn_broadcast_cost(ctx.locale_id, ids)
+        )
         group = TaskGroup(self)
         for lid in ids:
             self.locale(lid)
-            if lid != ctx.locale_id:
+            if not self.network.is_coherent(ctx.locale_id, lid):
+                # Coherent peers are spawned over shared memory — no
+                # message, so (like every coherent-class charge) nothing
+                # is recorded in comm diags.
                 self.network.diags.record(ctx.locale_id, CommOp.FORK)
             group.spawn(body, (lid,), locale_id=lid, start_time=ctx.clock.now + overhead)
         finish = group.join()
@@ -463,7 +485,13 @@ class Runtime:
         )
         if total_tasks == 0:
             return
-        overhead = spawn_tree_overhead(total_tasks, costs.task_spawn_remote)
+        overhead = spawn_tree_overhead(
+            total_tasks,
+            self.network.spawn_broadcast_cost(
+                ctx.locale_id,
+                [lid for lid, chunk in enumerate(per_locale) if chunk],
+            ),
+        )
 
         def worker(my_items: List[T]) -> None:
             tls = task_init() if task_init is not None else None
