@@ -15,21 +15,28 @@ quick runs.
 Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
 
     python -m repro.bench scenarios --list
+    python -m repro.bench scenarios --list --filter topo-hier
     python -m repro.bench scenarios --run hotspot-zipf queue-churn
     python -m repro.bench scenarios --run queue-churn --reclaimer hp
     python -m repro.bench scenarios --run queue-churn --topology hier:2x2
+    python -m repro.bench scenarios --run topo-hier-reclaim-ebr --aggregation 8
     python -m repro.bench scenarios --run hotspot-zipf --cost-profile wan
     python -m repro.bench scenarios --all --jobs 4 --out report.json
     python -m repro.bench scenarios --all --update-baselines
     python -m repro.bench scenarios --spec my_scenario.toml
 
+``--list --filter <substring>`` narrows the listing to scenarios whose
+name contains the substring (the registry has grown past one screen).
+
 ``--reclaimer {ebr,hp,qsbr,ibr}`` overrides the memory-reclamation scheme
 of every selected scenario (see docs/RECLAMATION.md); the JSON report's
 ``extra.em`` block carries each run's per-scheme retired / freed /
-peak-pending counts.  ``--topology`` (``flat``, ``hier:SxL``,
-``dragonfly:G`` — see docs/TOPOLOGY.md), ``--cost-profile``
+peak-pending counts — plus ``scan_batches`` / ``uplink_crossings`` when
+message aggregation batched any scan traffic.  ``--topology`` (``flat``,
+``hier:SxL``, ``dragonfly:G`` — see docs/TOPOLOGY.md), ``--aggregation``
+(the uplink batching window, docs/AGGREGATION.md), ``--cost-profile``
 (``default``/``degraded``/``wan``) and ``--cost-scale`` override the
-simulated machine the same way; all four axes are recorded in reports
+simulated machine the same way; all five axes are recorded in reports
 and baselines, and a run whose axis differs from the recorded baseline
 reports ``incomparable`` instead of pretending to compare.  None of them
 can be combined with ``--update-baselines`` (a scenario's baseline pins
@@ -88,6 +95,13 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         "--jobs", type=int, default=None, help="parallel scenario runs (default: min(n, 4))"
     )
     ap.add_argument(
+        "--filter",
+        metavar="SUBSTRING",
+        default=None,
+        help="with --list: only show scenarios whose name contains"
+        " SUBSTRING (case-insensitive)",
+    )
+    ap.add_argument(
         "--reclaimer",
         choices=RECLAIMER_SCHEMES,
         default=None,
@@ -103,6 +117,15 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         " ('flat', 'hier:SxL', 'dragonfly:G'; see docs/TOPOLOGY.md —"
         " baseline verdicts become 'incomparable' when the shape differs"
         " from the recorded one)",
+    )
+    ap.add_argument(
+        "--aggregation",
+        metavar="WINDOW",
+        default=None,
+        help="override the uplink message-aggregation window of every"
+        " selected scenario (an integer; 1 or 'off' disables — see"
+        " docs/AGGREGATION.md; baseline verdicts become 'incomparable'"
+        " when it differs from the recorded one)",
     )
     ap.add_argument(
         "--cost-profile",
@@ -157,6 +180,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     for flag, value in (
         ("--reclaimer", args.reclaimer),
         ("--topology", args.topology),
+        ("--aggregation", args.aggregation),
         ("--cost-profile", args.cost_profile),
         ("--cost-scale", args.cost_scale),
     ):
@@ -166,16 +190,29 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
                 " scenario's baseline pins the machine it was registered"
                 " with)"
             )
+    if args.filter is not None and not args.list:
+        ap.error("--filter only applies to --list")
 
     if args.list:
-        print(f"{len(scenarios.scenario_names())} registered scenarios:\n")
+        specs = list(scenarios.iter_scenarios())
+        if args.filter is not None:
+            needle = args.filter.lower()
+            specs = [s for s in specs if needle in s.name.lower()]
+            print(
+                f"{len(specs)} of {len(scenarios.scenario_names())}"
+                f" registered scenarios matching {args.filter!r}:\n"
+            )
+            if not specs:
+                return 0
+        else:
+            print(f"{len(specs)} registered scenarios:\n")
         header = (
             f"  {'name':24s} {'workload':16s} {'machine':7s} {'net':5s}"
             f" {'topology':12s} {'costs':8s}"
         )
         print(header)
         print("  " + "-" * (len(header) - 2))
-        for spec in scenarios.iter_scenarios():
+        for spec in specs:
             topo = spec.topology
             machine = f"{topo.locales}x{topo.tasks_per_locale}"
             costs = topo.cost_profile
@@ -188,6 +225,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             )
             if topo.reclaimer != "ebr":
                 line += f" rec={topo.reclaimer}"
+            if topo.aggregation != 1:
+                line += f" agg=w{topo.aggregation}"
             print(line)
             if spec.description:
                 print(f"      {spec.description}")
@@ -205,6 +244,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         topo_overrides["reclaimer"] = args.reclaimer
     if args.topology is not None:
         topo_overrides["topology"] = args.topology
+    if args.aggregation is not None:
+        topo_overrides["aggregation"] = args.aggregation
     if args.cost_profile is not None:
         topo_overrides["cost_profile"] = args.cost_profile
     if args.cost_scale is not None:
@@ -234,6 +275,11 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
                 f" retired={rec['retired']} freed={rec['freed']}"
                 f" peak={rec.get('peak_pending', 0)}]"
             )
+            if rec.get("scan_batches") or rec.get("uplink_crossings"):
+                line += (
+                    f" [agg: batches={rec.get('scan_batches', 0)}"
+                    f" crossings={rec.get('uplink_crossings', 0)}]"
+                )
         line += f" (wall {run.wall_seconds:.2f}s)"
         print(line)
         sys.stdout.flush()

@@ -67,6 +67,7 @@ from typing import (
     Tuple,
 )
 
+from ..comm.aggregation import parse_aggregation
 from ..comm.costs import resolve_cost_model
 from ..comm.topology import parse_topology
 from ..errors import ReproError
@@ -140,6 +141,12 @@ class TopologySpec:
     structures retire through (see :mod:`repro.reclaim` and
     docs/RECLAMATION.md): ``"ebr"`` (default — the paper's scheme),
     ``"hp"``, ``"qsbr"`` or ``"ibr"``.
+
+    ``aggregation`` is the uplink message-aggregation window (see
+    :mod:`repro.comm.aggregation` and docs/AGGREGATION.md): how many
+    same-uplink-group reclamation-path operations one traversal may
+    carry.  ``1`` (the default) disables aggregation — the legacy
+    one-message-per-op behaviour every pre-aggregation baseline pins.
     """
 
     locales: int = 8
@@ -152,6 +159,7 @@ class TopologySpec:
     seed: int = 0xC0FFEE
     worker_pool_size: Optional[int] = None
     reclaimer: str = "ebr"
+    aggregation: Any = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.locales, int) or self.locales < 1:
@@ -208,6 +216,14 @@ class TopologySpec:
                 f"topology.reclaimer {self.reclaimer!r} unknown; expected"
                 f" one of {list(RECLAIMER_SCHEMES)}"
             )
+        # Validate the aggregation window eagerly and normalize to its
+        # canonical int spec, so baselines compare "off"/1/"1" as the
+        # same machine.
+        try:
+            agg = parse_aggregation(self.aggregation)
+        except ValueError as exc:
+            raise ScenarioError(f"topology.aggregation: {exc}") from None
+        object.__setattr__(self, "aggregation", agg.spec())
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
@@ -227,6 +243,7 @@ class TopologySpec:
             worker_pool_size=self.worker_pool_size,
             reclaimer=self.reclaimer,
             topology=self.topology,
+            aggregation=self.aggregation,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -240,6 +257,8 @@ class TopologySpec:
             "seed": self.seed,
             "reclaimer": self.reclaimer,
         }
+        if self.aggregation != 1:
+            out["aggregation"] = self.aggregation
         if self.cost_overrides:
             out["cost_overrides"] = dict(self.cost_overrides)
         if self.worker_pool_size is not None:
@@ -697,6 +716,7 @@ def baseline_entry(run: ScenarioRun) -> Dict[str, Any]:
         "ops_scale": run.spec.measure.ops_scale,
         "reclaimer": run.spec.topology.reclaimer,
         "topology": run.spec.topology.topology,
+        "aggregation": run.spec.topology.aggregation,
         "cost_profile": run.spec.topology.cost_profile,
         "cost_scale": run.spec.topology.cost_scale,
         "elapsed_virtual_s": run.result.elapsed,
@@ -723,6 +743,7 @@ def _baseline_status(run: ScenarioRun, baselines: Mapping[str, Any]) -> Dict[str
     for key, default, got in (
         ("reclaimer", "ebr", topo.reclaimer),
         ("topology", "flat", topo.topology),
+        ("aggregation", 1, topo.aggregation),
         ("cost_profile", "default", topo.cost_profile),
         ("cost_scale", 1.0, topo.cost_scale),
     ):
@@ -1086,4 +1107,53 @@ for _scheme in ("ebr", "hp"):
             "rounds": 2,
         },
     )
+
+# Uplink-aware reclamation (see repro.comm.aggregation and
+# docs/AGGREGATION.md): the exact topo-hier-reclaim-* workloads with the
+# message-aggregation window open, sweeping window sizes.  Scan paths
+# walk coherence domains first, cross each shared uplink once per
+# window-sized batch, and (EBR) share limbo lists per socket — these are
+# the successors the PR 4 baselines are measured against, and they must
+# post *lower* virtual time than their aggregation-off twins.
+for _scheme in ("ebr", "hp"):
+    for _window in (4, 16):
+        _builtin(
+            f"topo-hier-agg-{_scheme}-w{_window}",
+            f"topo-hier-reclaim-{_scheme} with the aggregation window at"
+            f" {_window}: domain-ordered scans, batched uplink traversals"
+            + (", socket-shared limbo lists" if _scheme == "ebr" else "")
+            + " — beats the aggregation-off baseline on virtual time.",
+            {"locales": 8, "network": "ugni", "topology": "hier:2x2",
+             "reclaimer": _scheme, "aggregation": _window},
+            {
+                "kind": "epoch_mixed",
+                "ops_per_task": 1024,
+                "write_percent": 50,
+                "remote_percent": 50,
+                "rounds": 2,
+            },
+        )
+    del _window
 del _scheme
+
+# Ragged shape: a hierarchy whose locale count does not fill the last
+# node (hier:2x3 over 8 locales = one full 6-locale node + one partial
+# node of 2, itself a partial socket).  Exercises partial-node uplink
+# grouping and partial-socket coherence domains on the aggregated path —
+# ROADMAP open item 4 (tests/test_aggregation.py asserts the grouping).
+_builtin(
+    "topo-hier-ragged",
+    "Mixed deferDelete traffic on a ragged hier:2x3 over 8 locales (the"
+    " second node has only 2 of 6 locales) with aggregation window 4:"
+    " partial-node uplink groups and a partial socket on the"
+    " domain-ordered scan path.",
+    {"locales": 8, "network": "ugni", "topology": "hier:2x3",
+     "aggregation": 4},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 512,
+        "write_percent": 50,
+        "remote_percent": 50,
+        "rounds": 2,
+    },
+)

@@ -56,6 +56,8 @@ NETWORK_FIELDS = (
     "nic_atomic_service",
     "am_latency",
     "am_service",
+    "am_batch_item_latency",
+    "am_batch_item_service",
     "rdma_small_latency",
     "rdma_byte_cost",
     "rdma_service",
@@ -106,6 +108,14 @@ class CostModel:
     #: Progress-thread occupancy per AM at the target locale.  This is the
     #: term that makes AM-bound locales a scaling bottleneck.
     am_service: float = 700 * _NS
+    #: Marginal latency per *additional* operation riding an aggregated
+    #: active message (see :mod:`repro.comm.aggregation`): payload
+    #: marshalling plus the handler's per-item work, far below a full
+    #: ``am_latency`` round trip — that gap is the whole point of
+    #: batching.
+    am_batch_item_latency: float = 250 * _NS
+    #: Marginal uplink/progress occupancy per additional aggregated item.
+    am_batch_item_service: float = 80 * _NS
 
     # -- One-sided data movement (GET / PUT) -----------------------------
     #: Small-message one-sided read/write latency.

@@ -59,6 +59,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..runtime.clock import ServicePoint, TaskClock
+from .aggregation import UplinkAggregator
 from .costs import CostModel
 from .counters import CommDiagnostics, CommOp
 from .routes import AtomicRoute, DataRoute, atomic_route_index
@@ -101,6 +102,8 @@ class NetworkModel:
             }
         #: Operation counters, bucketed by initiating locale.
         self.diags = CommDiagnostics(config.num_locales)
+        #: The validated message-aggregation window for this machine.
+        self.aggregation = config.resolved_aggregation()
         # Per-distance-class cost models: the base model with only the
         # network-facing fields scaled by the class's link factor.  Scale
         # 1.0 returns the base object itself, keeping flat-topology routes
@@ -129,6 +132,11 @@ class NetworkModel:
         # Scalars lifted out of the hot paths.
         self._cpu_load_latency = self.costs.cpu_load_latency
         self._bulk_byte_cost = self.costs.rdma_byte_cost
+        #: The coalescing layer for same-uplink operation batches (see
+        #: :mod:`repro.comm.aggregation`).  Inert — every call degenerates
+        #: to the legacy per-op path — when the window is 1 or the
+        #: topology has no shared uplinks.
+        self.aggregator = UplinkAggregator(self, self.aggregation)
 
     # ------------------------------------------------------------------
     # topology plumbing
@@ -624,16 +632,22 @@ class NetworkModel:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.free_latency)
 
-    def bulk_free(self, ctx: "TaskContext", home: int, count: int) -> None:
+    def bulk_free(
+        self, ctx: "TaskContext", home: int, count: int, *, rpc: bool = True
+    ) -> None:
         """Charge freeing ``count`` objects on ``home`` as one batch.
 
         This is the scatter-list payoff: one RPC (if non-coherent) plus an
-        amortized per-object cost, instead of ``count`` RPCs.
+        amortized per-object cost, instead of ``count`` RPCs.  ``rpc=False``
+        charges only the amortized frees — for callers whose crossing was
+        already paid by an aggregated batch.
         """
         if count <= 0:
             return
         c = self.costs
-        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
+        if rpc and not self._coherent_class[
+            self.distance_row(home)[ctx.locale_id]
+        ]:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.free_latency + (count - 1) * c.bulk_free_per_object)
 

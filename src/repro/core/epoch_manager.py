@@ -51,7 +51,7 @@ from ..errors import EpochManagerError
 from ..memory.address import GlobalAddress
 from ..runtime.context import current_context
 from .limbo_list import LimboList, NodePool
-from .privatization import PrivatizedObject
+from .privatization import PrivatizedObject, replicate_coherent
 from .token import Token, TokenAllocatedList, TokenFreeList
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -85,6 +85,12 @@ class EpochManagerStats:
         "scans_unsafe",
         "advances",
         "objects_reclaimed",
+        # Uplink-aware traversal diagnostics (docs/AGGREGATION.md):
+        # aggregated messages issued and shared-uplink traversals paid by
+        # the scan/drain/gather phases.  Zero under the legacy (flat /
+        # aggregation-off) paths.
+        "scan_batches",
+        "uplink_crossings",
     )
 
     __slots__ = ("_stripes", "_lock", "_tls")
@@ -159,11 +165,23 @@ class _EpochManagerInstance:
         runtime: "Runtime",
         locale_id: int,
         cycle: int = EPOCH_CYCLE,
+        home_locales: "Optional[Sequence[int]]" = None,
     ) -> None:
         self.manager = manager
         self.runtime = runtime
         self.locale_id = locale_id
         self.cycle = cycle
+        #: Locales served by this instance: just ``locale_id`` in the
+        #: per-locale (legacy) layout, the whole CPU-coherence domain in
+        #: the socket-shared mode (docs/AGGREGATION.md).  Tokens may be
+        #: used from any of these.
+        self.home_locales = (
+            frozenset((locale_id,))
+            if home_locales is None
+            else frozenset(home_locales)
+        )
+        shared = len(self.home_locales) > 1
+        self.shared = shared
         #: Locale-private cache of the global epoch (opted out of network
         #: atomics: only local tasks and locally-running reclaim code read it).
         self.locale_epoch = AtomicUInt64(
@@ -173,8 +191,12 @@ class _EpochManagerInstance:
         self.is_setting_epoch = AtomicBool(
             runtime, locale_id, False, name=f"local_setting@{locale_id}", opt_out=True
         )
-        #: Shared recycling pool for the three limbo lists.
-        self.pool = NodePool(runtime, locale_id)
+        #: Shared recycling pool for the three limbo lists.  The socket-
+        #: shared mode runs *without* recycling: producers on several
+        #: locales feed one list, and a pool ``get`` would be a CAS loop
+        #: over concurrently-mutated state — a charged, schedule-dependent
+        #: retry count (see the LimboList docstring).
+        self.pool = None if shared else NodePool(runtime, locale_id)
         #: One limbo list per epoch in the cycle (index = epoch - 1).
         self.limbo_lists: List[LimboList] = [
             LimboList(runtime, locale_id, self.pool, name=f"limbo{e}@{locale_id}")
@@ -220,6 +242,16 @@ class EpochManager(PrivatizedObject):
         paper's design — and the default — is 3; ``4`` holds objects one
         extra advance, closing the mid-advance stale-locale-cache window
         (DESIGN.md §6b) at the cost of extra memory residency.
+    share_coherent:
+        Socket-shared mode (docs/AGGREGATION.md): one privatized instance
+        per CPU-coherence domain (via :func:`~repro.core.privatization.
+        replicate_coherent`) instead of per locale — socket siblings share
+        limbo lists and the locale-epoch cache, trading a little line
+        contention for fewer instances to scan and drain (fewer uplink
+        crossings).  ``None`` (the default) resolves automatically: on
+        when the runtime's aggregation window is open *and* the topology
+        has multi-locale coherence domains, off otherwise — so flat /
+        aggregation-off machines keep the exact legacy layout.
     """
 
     def __init__(
@@ -230,8 +262,10 @@ class EpochManager(PrivatizedObject):
         use_scatter: bool = True,
         home: Optional[int] = None,
         epoch_cycle: int = EPOCH_CYCLE,
+        share_coherent: Optional[bool] = None,
     ) -> None:
         from ..runtime.context import maybe_context
+        from .privatization import coherence_domains
 
         if epoch_cycle < 3:
             raise ValueError(
@@ -246,11 +280,85 @@ class EpochManager(PrivatizedObject):
         self.use_scatter = bool(use_scatter)
         self.stats = EpochManagerStats()
         self._destroyed = False
-        instances = [
-            _EpochManagerInstance(self, runtime, lid, cycle=self.epoch_cycle)
-            for lid in range(runtime.num_locales)
-        ]
+        domains = coherence_domains(runtime)
+        multi_locale_domains = len(set(domains)) < runtime.num_locales
+        if share_coherent is None:
+            share_coherent = (
+                runtime.network.aggregator.spec.enabled and multi_locale_domains
+            )
+        #: True when instances are shared per coherence domain (a domain
+        #: of one locale shares nothing, so sharing degenerates to the
+        #: legacy layout and is reported off).
+        self.share_coherent = bool(share_coherent) and multi_locale_domains
+        if self.share_coherent:
+            members: Dict[int, List[int]] = {}
+            for lid, dom in enumerate(domains):
+                members.setdefault(dom, []).append(lid)
+
+            def make_instance(lid: int) -> _EpochManagerInstance:
+                return _EpochManagerInstance(
+                    self,
+                    runtime,
+                    lid,
+                    cycle=self.epoch_cycle,
+                    home_locales=members[domains[lid]],
+                )
+
+            instances = replicate_coherent(runtime, make_instance)
+        else:
+            instances = [
+                _EpochManagerInstance(self, runtime, lid, cycle=self.epoch_cycle)
+                for lid in range(runtime.num_locales)
+            ]
+        #: Unique instance home locales, ascending (the scan/drain units).
+        self._instance_lids: "tuple" = tuple(
+            sorted({inst.locale_id for inst in instances})
+        )
         super().__init__(runtime, instances)
+        self._plan = self._build_plan()
+
+    # ------------------------------------------------------------------
+    # uplink-aware traversal plan
+    # ------------------------------------------------------------------
+    def _build_plan(self):
+        """The domain-ordered traversal plan, or ``None`` for legacy.
+
+        Active when the socket-shared layout is on or the aggregation
+        window is open on a machine with shared uplinks; ``None`` —
+        meaning every scan/drain path runs the exact legacy
+        one-task-per-locale shape — otherwise.  Each entry is
+        ``(representative locale, instance locales, all locales)`` for
+        one uplink group, groups in ascending group order: the scan
+        spawns one task per *group* (crossing each shared uplink once)
+        which then walks its group's instances over the intra-node
+        fabric.
+        """
+        rt = self._rt
+        if not (self.share_coherent or rt.network.aggregator.active):
+            return None
+        topo = rt.network.topology
+        groups: Dict[int, List[int]] = {}
+        for lid in range(rt.num_locales):
+            groups.setdefault(topo.uplink_group(lid), []).append(lid)
+        inst_set = set(self._instance_lids)
+        plan = []
+        for g in sorted(groups):
+            all_lids = tuple(sorted(groups[g]))
+            inst_lids = tuple(lid for lid in all_lids if lid in inst_set)
+            plan.append((all_lids[0], inst_lids, all_lids))
+        return tuple(plan)
+
+    def _note_traversal(self) -> None:
+        """Count the uplink crossings of one domain-ordered coforall."""
+        net = self._rt.network
+        src = current_context().locale_id
+        crossings = 0
+        for rep, _insts, _all in self._plan:
+            dclass = net.distance_row(rep)[src]
+            if net.topology.classes[dclass].shared_uplink:
+                crossings += 1
+        if crossings:
+            self.stats.inc("uplink_crossings", crossings)
 
     # ------------------------------------------------------------------
     # registration
@@ -311,6 +419,30 @@ class EpochManager(PrivatizedObject):
 
     tryReclaim = try_reclaim
 
+    def _coforall_instances(self, fn) -> None:
+        """Run ``fn(instance locale)`` over every scan/drain unit.
+
+        Legacy (no plan): one task per locale, exactly the pre-aggregation
+        shape.  Domain-ordered (plan active): one task per *uplink group*
+        representative — each shared uplink is crossed once per traversal
+        instead of once per locale — which then walks its group's
+        instances over the intra-node fabric (coherent/NIC-priced reads,
+        no uplink traffic).
+        """
+        rt = self._rt
+        plan = self._plan
+        if plan is None:
+            rt.coforall_locales(fn)
+            return
+        members = {rep: inst_lids for rep, inst_lids, _all in plan}
+
+        def run_group(rep: int) -> None:
+            for lid in members[rep]:
+                fn(lid)
+
+        rt.coforall_locales(run_group, locales=[rep for rep, _i, _a in plan])
+        self._note_traversal()
+
     def _scan_and_advance(self) -> bool:
         """The scan + advance + drain + bulk-delete pipeline (Listing 4)."""
         rt = self._rt
@@ -327,7 +459,7 @@ class EpochManager(PrivatizedObject):
                     votes[lid] = False
                     break
 
-        rt.coforall_locales(scan_locale)
+        self._coforall_instances(scan_locale)
         if not all(votes):
             self.stats.inc("scans_unsafe")
             return False
@@ -392,9 +524,10 @@ class EpochManager(PrivatizedObject):
                         n += 1
                 freed_total[lid] = n
 
-        rt.coforall_locales(drain_locale)
+        self._coforall_instances(drain_locale)
 
         if self.use_scatter:
+            plan = self._plan
 
             def gather_and_free(lid: int) -> None:
                 ctx = current_context()
@@ -408,7 +541,44 @@ class EpochManager(PrivatizedObject):
                 if mine:
                     freed_total[lid] = rt.free_bulk(lid, mine)
 
-            rt.coforall_locales(gather_and_free)
+            if plan is None:
+                rt.coforall_locales(gather_and_free)
+            else:
+                # Domain-ordered gather: one task per uplink group pulls
+                # the scatter entries for every locale in its group.
+                # Sources behind a shared uplink coalesce — the address
+                # lists of one source node ride one window-sized bulk
+                # batch instead of one transfer per source locale.
+                from ..comm.aggregation import BatchCounters
+
+                members = {rep: all_lids for rep, _i, all_lids in plan}
+                aggregator = rt.network.aggregator
+
+                def gather_group(rep: int) -> None:
+                    ctx = current_context()
+                    counters = BatchCounters()
+                    for lid in members[rep]:
+                        mine: List[int] = []
+                        transfers: List[tuple] = []
+                        for src in range(rt.num_locales):
+                            batch = staged[src].get(lid)
+                            if batch:
+                                transfers.append((src, 8 * len(batch)))
+                                mine.extend(batch)
+                        if transfers:
+                            aggregator.bulk_gather(ctx, transfers, counters)
+                        if mine:
+                            # The free itself: the group's own locales are
+                            # coherent or intra-node peers — no uplink.
+                            freed_total[lid] = rt.free_bulk(lid, mine)
+                    if counters.batches:
+                        self.stats.inc("scan_batches", counters.batches)
+                        self.stats.inc("uplink_crossings", counters.crossings)
+
+                rt.coforall_locales(
+                    gather_group, locales=[rep for rep, _i, _a in plan]
+                )
+                self._note_traversal()
 
         return sum(freed_total)
 
@@ -439,10 +609,21 @@ class EpochManager(PrivatizedObject):
         """Cost-free read of the global epoch (tests only)."""
         return self.global_epoch.epoch.peek()
 
+    def instance_locales(self) -> "tuple":
+        """Home locales of the distinct privatized instances, ascending.
+
+        One entry per locale in the legacy layout; one per CPU-coherence
+        domain in the socket-shared mode.  Iterating instances through
+        this (rather than ``range(num_locales)``) is what keeps shared-
+        mode accounting exact — a shared instance is visited once, not
+        once per member locale.
+        """
+        return self._instance_lids
+
     def pending_count(self) -> int:
         """Cost-free count of objects currently in limbo (tests only)."""
         total = 0
-        for lid in range(self._rt.num_locales):
+        for lid in self._instance_lids:
             inst: _EpochManagerInstance = self.get_privatized_instance(lid)
             for lst in inst.limbo_lists:
                 node = lst._head.peek()

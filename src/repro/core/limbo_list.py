@@ -98,9 +98,26 @@ class NodePool:
 
 
 class LimboList:
-    """Wait-free multi-producer list with bulk removal (paper Listing 2)."""
+    """Wait-free multi-producer list with bulk removal (paper Listing 2).
 
-    def __init__(self, runtime: "Runtime", home: int, pool: NodePool, name: str = "") -> None:
+    ``pool=None`` runs the list without node recycling: pushes allocate a
+    fresh node (no pool-head read, no CAS anywhere) and drains discard
+    nodes to the garbage collector.  The socket-shared epoch-manager mode
+    (docs/AGGREGATION.md) uses this: with producers on *several* locales
+    feeding one list, a recycled pool's ``get`` would be a CAS loop over
+    state concurrently mutated by other real threads — a charged,
+    schedule-dependent retry count that breaks the engine's determinism
+    contract.  Fresh allocation keeps every push exactly one charged
+    exchange.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        home: int,
+        pool: Optional[NodePool],
+        name: str = "",
+    ) -> None:
         self._head = AtomicRef(runtime, home, None, name=name or f"limbo@{home}")
         self._pool = pool
         self.home = home
@@ -113,7 +130,11 @@ class LimboList:
         and the paper counts the structure's *publication* — the exchange —
         which never retries).
         """
-        node = self._pool.get(val)
+        if self._pool is None:
+            node = LimboNode()
+            node.val = val
+        else:
+            node = self._pool.get(val)
         old = self._head.exchange(node)
         node.next = old
 
@@ -128,12 +149,23 @@ class LimboList:
         return self._head.exchange(None)
 
     def drain(self) -> Iterator[Any]:
-        """Pop everything and yield the values, recycling nodes."""
+        """Pop everything and yield the values, recycling nodes.
+
+        Without a pool, drained nodes are simply dropped (GC reclaims
+        them) — no charged pool pushes.
+        """
         node = self.pop_all()
+        pool = self._pool
+        if pool is None:
+            while node is not None:
+                nxt = node.next
+                yield node.val
+                node = nxt
+            return
         while node is not None:
             nxt = node.next
             val = node.val
-            self._pool.put(node)
+            pool.put(node)
             yield val
             node = nxt
 

@@ -45,6 +45,8 @@ class LocalEpochManager:
             locale = ctx.locale_id if ctx is not None else 0
         self.runtime = runtime
         self.locale_id = runtime.locale(locale).id
+        #: Locales allowed to use tokens of this manager (Token API).
+        self.home_locales = frozenset((self.locale_id,))
         #: The (only) epoch counter; opted out of network atomics.
         self.locale_epoch = AtomicUInt64(
             runtime, self.locale_id, 1, name=f"lem_epoch@{self.locale_id}", opt_out=True

@@ -96,7 +96,11 @@ class Token:
             ctx = None
         if ctx is None:
             ctx = current_context()
-        if ctx.locale_id != self._inst.locale_id:
+        # home_locales is {locale_id} for per-locale instances; under the
+        # socket-shared mode (docs/AGGREGATION.md) it is the instance's
+        # whole coherence domain — any socket sibling may use the token
+        # (its atomics are then coherent-class, still CPU-priced).
+        if ctx.locale_id not in self._inst.home_locales:
             raise TokenStateError(
                 f"token registered on locale {self._inst.locale_id} used from"
                 f" locale {ctx.locale_id}; register per-task on each locale"

@@ -113,9 +113,11 @@ class EBRReclaimer:
             self._peak_pending = pending
 
     def _retired_total(self) -> int:
-        rt = self._rt
         total = 0
-        for lid in range(rt.num_locales):
+        # One visit per distinct instance: under the socket-shared layout
+        # several locales alias one instance, and per-locale iteration
+        # would double-count its deferred tally.
+        for lid in self.manager.instance_locales():
             total += self.manager.get_privatized_instance(lid).deferred_count
         return total
 

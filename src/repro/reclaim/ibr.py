@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..atomics.integer import AtomicUInt64
+from ..comm.aggregation import BatchCounters
 from ..runtime.context import current_context, maybe_context
 from .protocol import GuardBase, ReclaimerBase
 
@@ -148,24 +149,44 @@ class IntervalReclaimer(ReclaimerBase):
         off and return ``False`` without draining, like EBR's advance.
         """
         self._check_alive()
-        current_context()
+        ctx = current_context()
         self._reclaim_attempts += 1
         self._note_pending()
         era = self._era.read()
         if not self._era.compare_and_swap(era, era + 1):
             return False
         new_era = era + 1
-        # Refresh every locale's cache (remote stores from the caller —
-        # the fan-out a real implementation would piggyback on its scan).
-        for cache in self._locale_eras:
-            cache.write(new_era)
-        # Scan the birth eras (remote atomic reads).
-        min_birth: Optional[int] = None
         guards = self._registered_guards()
-        for guard in guards:
-            b = guard.birth.read()  # type: ignore[attr-defined]
-            if b and (min_birth is None or b < min_birth):
-                min_birth = b
+        aggregator = self._rt.network.aggregator
+        if aggregator.active:
+            # Domain-ordered refresh + scan (docs/AGGREGATION.md): era
+            # pushes to caches behind one shared uplink ride one batched
+            # AM per window, and so do the birth-era reads.
+            counters = BatchCounters()
+            aggregator.write_cells(
+                ctx,
+                [(cache, new_era) for cache in self._locale_eras],
+                counters,
+            )
+            births = aggregator.read_cells(
+                ctx, [guard.birth for guard in guards], counters  # type: ignore[attr-defined]
+            )
+            self._note_batches(counters)
+            min_birth: Optional[int] = None
+            for b in births:
+                if b and (min_birth is None or b < min_birth):
+                    min_birth = b
+        else:
+            # Refresh every locale's cache (remote stores from the caller —
+            # the fan-out a real implementation would piggyback on its scan).
+            for cache in self._locale_eras:
+                cache.write(new_era)
+            # Scan the birth eras (remote atomic reads).
+            min_birth = None
+            for guard in guards:
+                b = guard.birth.read()  # type: ignore[attr-defined]
+                if b and (min_birth is None or b < min_birth):
+                    min_birth = b
         horizon = new_era if min_birth is None else min_birth
         freed = self._drain_retired(guards, lambda entry: entry[1] >= horizon)
         if freed:

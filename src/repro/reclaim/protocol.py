@@ -52,11 +52,12 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
+from ..comm.aggregation import BatchCounters
 from ..errors import ReclaimerError, TokenStateError
 from ..memory.address import GlobalAddress
 from ..runtime.config import RECLAIMER_SCHEMES
 from ..runtime.context import _tls as _context_tls
-from ..runtime.context import current_context
+from ..runtime.context import current_context, maybe_context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -259,6 +260,12 @@ class ReclaimerBase:
         self._peak_pending = 0
         self._reclaim_attempts = 0
         self._reclaims = 0
+        # Uplink-aggregation diagnostics (docs/AGGREGATION.md): batched
+        # messages issued and shared-uplink traversals paid by this
+        # scheme's scan/free paths.  Zero with aggregation off or on a
+        # flat machine.
+        self._scan_batches = 0
+        self._uplink_crossings = 0
 
     # ------------------------------------------------------------------
     def _check_alive(self) -> None:
@@ -376,18 +383,38 @@ class ReclaimerBase:
         """Free the given (address, tag) entries, bulk-grouped by locale.
 
         Mirrors the EpochManager's scatter-list economics: one bulk free
-        per owning locale instead of one RPC per object.
+        per owning locale instead of one RPC per object — and, with the
+        aggregation window open, one *uplink crossing* per window-sized
+        batch of same-node target locales instead of one RPC crossing per
+        locale (:mod:`repro.comm.aggregation`; the per-locale amortized
+        free costs are unchanged).
         """
         if not entries:
             return 0
         by_locale: Dict[int, List[int]] = {}
         for addr, _tag in entries:
             by_locale.setdefault(addr.locale, []).append(addr.offset)
-        freed = 0
-        for lid in sorted(by_locale):
-            freed += self._rt.free_bulk(lid, by_locale[lid])
+        ctx = maybe_context()
+        if ctx is None:
+            # No task context (pure-semantics tests): plain per-locale
+            # bulk frees, uncharged by construction.
+            freed = 0
+            for lid in sorted(by_locale):
+                freed += self._rt.free_bulk(lid, by_locale[lid])
+        else:
+            counters = BatchCounters()
+            freed = self._rt.network.aggregator.free_grouped(
+                self._rt, ctx, by_locale, counters
+            )
+            self._note_batches(counters)
         self._freed += freed
         return freed
+
+    def _note_batches(self, counters: BatchCounters) -> None:
+        """Fold one aggregated operation's tallies into the stats."""
+        if counters.batches:
+            self._scan_batches += counters.batches
+            self._uplink_crossings += counters.crossings
 
     def _note_pending(self) -> None:
         """Sample pending garbage into the peak counter (cost-free)."""
@@ -427,6 +454,8 @@ class ReclaimerBase:
             "reclaim_attempts": self._reclaim_attempts,
             "objects_reclaimed": self._freed,
             "reclaims": self._reclaims,
+            "scan_batches": self._scan_batches,
+            "uplink_crossings": self._uplink_crossings,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -37,8 +37,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict
 
 from ..atomics.integer import AtomicUInt64
+from ..comm.aggregation import BatchCounters
 from ..errors import TokenStateError
-from ..runtime.context import current_context
+from ..runtime.context import current_context, maybe_context
 from .protocol import GuardBase, ReclaimerBase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,9 +114,22 @@ class QSBRReclaimer(ReclaimerBase):
         """
         self._check_alive()
         interval = self._interval
-        for guard in self._registered_guards():
-            if not guard._pinned:
+        guards = [g for g in self._registered_guards() if not g._pinned]
+        ctx = maybe_context()
+        aggregator = self._rt.network.aggregator
+        if ctx is None or not aggregator.active:
+            for guard in guards:
                 guard.seen.write(interval)  # type: ignore[attr-defined]
+            return
+        # Quiescence announcements destined for guards behind one shared
+        # uplink ride one aggregated AM per window-sized batch.
+        counters = BatchCounters()
+        aggregator.write_cells(
+            ctx,
+            [(guard.seen, interval) for guard in guards],  # type: ignore[attr-defined]
+            counters,
+        )
+        self._note_batches(counters)
 
     def try_reclaim(self) -> bool:
         """Free everything retired before the minimum quiescent interval.
@@ -124,15 +138,28 @@ class QSBRReclaimer(ReclaimerBase):
         horizon and the call simply frees nothing and returns ``False``.
         """
         self._check_alive()
-        current_context()
+        ctx = current_context()
         self._reclaim_attempts += 1
         self._note_pending()
         min_seen = self._interval
         guards = self._registered_guards()
-        for guard in guards:
-            s = guard.seen.read()  # type: ignore[attr-defined]
-            if s < min_seen:
-                min_seen = s
+        aggregator = self._rt.network.aggregator
+        if aggregator.active:
+            # The write-side scan, domain-ordered: same-uplink guards'
+            # announcements are read in batches (docs/AGGREGATION.md).
+            counters = BatchCounters()
+            seen = aggregator.read_cells(
+                ctx, [guard.seen for guard in guards], counters  # type: ignore[attr-defined]
+            )
+            self._note_batches(counters)
+            for s in seen:
+                if s < min_seen:
+                    min_seen = s
+        else:
+            for guard in guards:
+                s = guard.seen.read()  # type: ignore[attr-defined]
+                if s < min_seen:
+                    min_seen = s
         freed = self._drain_retired(guards, lambda entry: entry[1] >= min_seen)
         self._interval += 1
         if freed:

@@ -22,6 +22,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from ..comm.aggregation import AggregationSpec, parse_aggregation
 from ..comm.costs import CostModel, DEFAULT_COSTS
 from ..comm.topology import Topology, parse_topology
 from ..errors import LocaleError
@@ -109,6 +110,15 @@ class RuntimeConfig:
         Determines the distance class — and therefore the cost route and
         contention point — of every (source, home) locale pair.  See
         docs/TOPOLOGY.md.
+    aggregation:
+        Message-aggregation window (see :mod:`repro.comm.aggregation` and
+        docs/AGGREGATION.md): the maximum number of same-uplink-group
+        operations one traversal may carry on the reclamation scan paths.
+        ``1`` (the default) or ``"off"`` disables aggregation — every
+        path then runs the legacy one-message-per-op shape, bit-identical
+        to the pre-aggregation engine.  Accepts an int, a string spec, a
+        ``{"window": N}`` mapping, or an
+        :class:`~repro.comm.aggregation.AggregationSpec`.
     """
 
     num_locales: int = 4
@@ -121,6 +131,7 @@ class RuntimeConfig:
     worker_pool_size: Optional[int] = None
     reclaimer: str = "ebr"
     topology: Any = "flat"
+    aggregation: Any = 1
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -155,6 +166,10 @@ class RuntimeConfig:
             "_topology_obj",
             parse_topology(self.topology, self.num_locales),
         )
+        # The aggregation window follows the same eager-validation shape.
+        object.__setattr__(
+            self, "_aggregation_obj", parse_aggregation(self.aggregation)
+        )
 
     def with_(self, **overrides) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
@@ -165,6 +180,12 @@ class RuntimeConfig:
         describes (``topology`` may be a string spec, mapping, or object;
         see :func:`repro.comm.topology.parse_topology`)."""
         return self._topology_obj
+
+    def resolved_aggregation(self) -> AggregationSpec:
+        """The validated :class:`~repro.comm.aggregation.AggregationSpec`
+        this config describes (``aggregation`` may be an int, string,
+        mapping, or spec object)."""
+        return self._aggregation_obj
 
     @classmethod
     def from_topology(
@@ -180,6 +201,7 @@ class RuntimeConfig:
         worker_pool_size: Optional[int] = None,
         reclaimer: str = "ebr",
         topology: Any = "flat",
+        aggregation: Any = 1,
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -206,6 +228,7 @@ class RuntimeConfig:
             worker_pool_size=worker_pool_size,
             reclaimer=reclaimer,
             topology=topology,
+            aggregation=aggregation,
         )
 
     @property

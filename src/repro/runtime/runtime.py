@@ -164,6 +164,11 @@ class Runtime:
         """The interconnect :class:`~repro.comm.topology.Topology`."""
         return self.network.topology
 
+    @property
+    def aggregation(self):
+        """The :class:`~repro.comm.aggregation.AggregationSpec` in force."""
+        return self.network.aggregation
+
     def locale_distance(self, src: int, dst: int) -> int:
         """Distance-class index between two locales (0 = same locale).
 
@@ -339,16 +344,21 @@ class Runtime:
             self.network.free(ctx, addr.locale)
         self.locale(addr.locale).heap.free(addr.offset)
 
-    def free_bulk(self, locale_id: int, offsets: Sequence[int]) -> int:
+    def free_bulk(
+        self, locale_id: int, offsets: Sequence[int], *, rpc: bool = True
+    ) -> int:
         """Free many allocations on one locale as a single batch.
 
         This is what the scatter list feeds: one RPC + amortized per-object
-        cost instead of one RPC per object.
+        cost instead of one RPC per object.  ``rpc=False`` skips the
+        round-trip charge (the amortized per-object frees are still paid):
+        the aggregation layer (:mod:`repro.comm.aggregation`) uses it when
+        the crossing was already charged as part of a coalesced batch.
         """
         offs = list(offsets)
         ctx = maybe_context()
         if ctx is not None:
-            self.network.bulk_free(ctx, locale_id, len(offs))
+            self.network.bulk_free(ctx, locale_id, len(offs), rpc=rpc)
         return self.locale(locale_id).heap.free_bulk(offs)
 
     def is_live(self, addr: GlobalAddress) -> bool:
