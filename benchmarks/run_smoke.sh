@@ -7,7 +7,10 @@
 #
 # Writes BENCH_wallclock.json at the repo root so each PR leaves a perf
 # data point behind (virtual-time correctness is enforced; wall-clock
-# speedup is recorded for the trajectory).
+# speedup is recorded for the trajectory).  The benchmark measures both
+# execution engines (interpreted and compiled — docs/ENGINE.md) and
+# fails if they diverge on virtual results; the scenario check then
+# re-verifies every registered baseline under the compiled engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,8 +20,12 @@ echo "== tier-1 test suite =="
 python -m pytest -x -q
 
 echo
-echo "== engine wall-clock benchmark (quick) =="
+echo "== engine wall-clock benchmark (quick, both engines) =="
 python benchmarks/bench_wallclock.py --quick
+
+echo
+echo "== scenario baselines under the compiled engine =="
+python -m repro.bench scenarios --all --engine compiled --out /tmp/smoke_scenarios_compiled.json
 
 echo
 echo "smoke gate OK — see BENCH_wallclock.json"

@@ -22,6 +22,7 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --run topo-hier-reclaim-ebr --aggregation 8
     python -m repro.bench scenarios --run hotspot-zipf --cost-profile wan
     python -m repro.bench scenarios --all --jobs 4 --out report.json
+    python -m repro.bench scenarios --all --engine compiled
     python -m repro.bench scenarios --all --update-baselines
     python -m repro.bench scenarios --spec my_scenario.toml
 
@@ -42,6 +43,13 @@ reports ``incomparable`` instead of pretending to compare.  None of them
 can be combined with ``--update-baselines`` (a scenario's baseline pins
 the machine it was registered with).
 
+``--engine {interpreted,compiled}`` selects the workload execution engine
+(docs/ENGINE.md).  It is *not* a machine axis: compiled execution is
+bit-identical to interpreted by contract, so baselines verify unchanged
+under either engine and the flag composes with ``--update-baselines`` —
+running ``--all --engine compiled`` is the cheap way to re-verify every
+baseline.
+
 ``--run`` executes named scenarios (in parallel when ``--jobs`` > 1),
 writes a JSON report with virtual-time results and per-scenario regression
 verdicts against ``benchmarks/scenario_baselines.json``, and exits
@@ -59,7 +67,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from ..comm.costs import COST_PROFILES
-from ..runtime.config import RECLAIMER_SCHEMES
+from ..runtime.config import ENGINES, RECLAIMER_SCHEMES
 from . import ablations, figures, scenarios
 from .report import Panel, render_figure
 
@@ -126,6 +134,16 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         " selected scenario (an integer; 1 or 'off' disables — see"
         " docs/AGGREGATION.md; baseline verdicts become 'incomparable'"
         " when it differs from the recorded one)",
+    )
+    ap.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="override the workload execution engine of every selected"
+        " scenario ('interpreted' or 'compiled'; see docs/ENGINE.md)."
+        " Unlike the machine axes above this never changes virtual"
+        " results — baselines verify bit-identically under either"
+        " engine, so it composes with --update-baselines",
     )
     ap.add_argument(
         "--cost-profile",
@@ -246,6 +264,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         topo_overrides["topology"] = args.topology
     if args.aggregation is not None:
         topo_overrides["aggregation"] = args.aggregation
+    if args.engine is not None:
+        topo_overrides["engine"] = args.engine
     if args.cost_profile is not None:
         topo_overrides["cost_profile"] = args.cost_profile
     if args.cost_scale is not None:

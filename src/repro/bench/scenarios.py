@@ -71,7 +71,12 @@ from ..comm.aggregation import parse_aggregation
 from ..comm.costs import resolve_cost_model
 from ..comm.topology import parse_topology
 from ..errors import ReproError
-from ..runtime.config import RECLAIMER_SCHEMES, NetworkType, RuntimeConfig
+from ..runtime.config import (
+    ENGINES,
+    RECLAIMER_SCHEMES,
+    NetworkType,
+    RuntimeConfig,
+)
 from ..runtime.runtime import Runtime
 from .workloads import (
     WorkloadResult,
@@ -147,6 +152,13 @@ class TopologySpec:
     same-uplink-group reclamation-path operations one traversal may
     carry.  ``1`` (the default) disables aggregation — the legacy
     one-message-per-op behaviour every pre-aggregation baseline pins.
+
+    ``engine`` selects the workload execution engine (see
+    :mod:`repro.engine` and docs/ENGINE.md): ``"interpreted"`` (default)
+    or ``"compiled"``.  Unlike the axes above it is *not* part of the
+    simulated machine — compiled execution is bit-identical by contract —
+    so baselines verify unchanged under either engine and the key is
+    never part of a baseline's identity.
     """
 
     locales: int = 8
@@ -160,6 +172,7 @@ class TopologySpec:
     worker_pool_size: Optional[int] = None
     reclaimer: str = "ebr"
     aggregation: Any = 1
+    engine: str = "interpreted"
 
     def __post_init__(self) -> None:
         if not isinstance(self.locales, int) or self.locales < 1:
@@ -224,6 +237,11 @@ class TopologySpec:
         except ValueError as exc:
             raise ScenarioError(f"topology.aggregation: {exc}") from None
         object.__setattr__(self, "aggregation", agg.spec())
+        if self.engine not in ENGINES:
+            raise ScenarioError(
+                f"topology.engine {self.engine!r} unknown; expected one of"
+                f" {list(ENGINES)}"
+            )
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
@@ -244,6 +262,7 @@ class TopologySpec:
             reclaimer=self.reclaimer,
             topology=self.topology,
             aggregation=self.aggregation,
+            engine=self.engine,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -259,6 +278,8 @@ class TopologySpec:
         }
         if self.aggregation != 1:
             out["aggregation"] = self.aggregation
+        if self.engine != "interpreted":
+            out["engine"] = self.engine
         if self.cost_overrides:
             out["cost_overrides"] = dict(self.cost_overrides)
         if self.worker_pool_size is not None:
@@ -1134,6 +1155,33 @@ for _scheme in ("ebr", "hp"):
             },
         )
     del _window
+del _scheme
+
+# The dragonfly twin of the topo-hier-agg sweep (ROADMAP: degraded
+# inter-group uplinks should widen the batching payoff): same mixed
+# deferDelete workload on dragonfly:4 groups, whose inter-group links are
+# slower *and* shared — so one batched traversal per window replaces the
+# costliest per-op crossings in the registry.  Window 16 only: the w4
+# point is already pinned by the hier sweep, and the wide window is where
+# the degraded-uplink payoff shows.
+for _scheme in ("ebr", "hp"):
+    _builtin(
+        f"topo-dragonfly-agg-{_scheme}-w16",
+        f"Mixed deferDelete traffic under {_scheme} on dragonfly:4 groups"
+        f" with the aggregation window at 16: domain-ordered scans batch"
+        f" the degraded inter-group uplink crossings"
+        + (", group-shared limbo lists" if _scheme == "ebr" else "")
+        + ".",
+        {"locales": 8, "network": "ugni", "topology": "dragonfly:4",
+         "reclaimer": _scheme, "aggregation": 16},
+        {
+            "kind": "epoch_mixed",
+            "ops_per_task": 1024,
+            "write_percent": 50,
+            "remote_percent": 50,
+            "rounds": 2,
+        },
+    )
 del _scheme
 
 # Ragged shape: a hierarchy whose locale count does not fill the last

@@ -30,6 +30,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.atomic_object import AtomicObject
+from ..engine import (
+    fast_randbelow,
+    mix_column_fn,
+    run_ebr_epoch_phase,
+    run_uniform_atomic_phase,
+    zipf_column_fn,
+)
 from ..memory.address import NIL, GlobalAddress
 from ..reclaim import make_reclaimer
 from ..runtime.runtime import Runtime
@@ -112,6 +119,30 @@ def run_atomic_mix(
     ntasks = nloc * tasks_per_locale
     ncells = num_cells if num_cells is not None else max(64, 2 * ntasks)
 
+    if kind == "atomic_int" and rt.config.engine == "compiled":
+        # Compiled lowering: the integer mix's op stream is one cell draw
+        # per op (all four mix ops charge the same narrow route), so the
+        # phase replays from target columns alone.  Cells are never
+        # materialized — creating them charges nothing, and nothing
+        # observes them after the phase.  AtomicObject variants read
+        # values mid-stream and fall through to the interpreter below.
+        def main_compiled() -> WorkloadResult:
+            rt.reset_measurements()
+            with rt.timed() as t:
+                run_uniform_atomic_phase(
+                    rt,
+                    homes=[i % nloc for i in range(ncells)],
+                    tasks_per_locale=tasks_per_locale,
+                    column_fn=mix_column_fn(ops_per_task, ncells),
+                )
+            return WorkloadResult(
+                elapsed=t.elapsed,
+                operations=ntasks * ops_per_task,
+                comm=rt.comm_totals(),
+            )
+
+        return rt.run(main_compiled)
+
     def main() -> WorkloadResult:
         if kind == "atomic_int":
             cells = [rt.atomic_int(0, locale=i % nloc) for i in range(ncells)]
@@ -140,13 +171,7 @@ def run_atomic_mix(
         def body_int(task_idx: int) -> None:
             from ..runtime.context import current_context
 
-            rng = current_context().rng
-            # Random.randrange(n) is a thin, surprisingly expensive wrapper
-            # over _randbelow(n) for a positive int bound; calling the
-            # latter directly consumes the identical bit stream (so the op
-            # sequence — and therefore virtual time and comm counts — is
-            # unchanged) at a fraction of the call cost.
-            randbelow = rng._randbelow
+            randbelow = fast_randbelow(current_context().rng)
             # The 4-op mix cycles deterministically with op_i, so unroll it:
             # same cell draws, same operands, no per-op dispatch.
             whole = ops_per_task & ~3
@@ -170,13 +195,7 @@ def run_atomic_mix(
         def body_aba(task_idx: int) -> None:
             from ..runtime.context import current_context
 
-            rng = current_context().rng
-            # Random.randrange(n) is a thin, surprisingly expensive wrapper
-            # over _randbelow(n) for a positive int bound; calling the
-            # latter directly consumes the identical bit stream (so the op
-            # sequence — and therefore virtual time and comm counts — is
-            # unchanged) at a fraction of the call cost.
-            randbelow = rng._randbelow
+            randbelow = fast_randbelow(current_context().rng)
             for op_i in range(ops_per_task):
                 cell = cells[randbelow(ncells)]
                 op = op_i & 3
@@ -194,13 +213,7 @@ def run_atomic_mix(
         def body_obj(task_idx: int) -> None:
             from ..runtime.context import current_context
 
-            rng = current_context().rng
-            # Random.randrange(n) is a thin, surprisingly expensive wrapper
-            # over _randbelow(n) for a positive int bound; calling the
-            # latter directly consumes the identical bit stream (so the op
-            # sequence — and therefore virtual time and comm counts — is
-            # unchanged) at a fraction of the call cost.
-            randbelow = rng._randbelow
+            randbelow = fast_randbelow(current_context().rng)
             for op_i in range(ops_per_task):
                 cell = cells[randbelow(ncells)]
                 op = op_i & 3
@@ -491,6 +504,27 @@ def run_atomic_hotspot(
         cdf.append(acc)
     total_w = cdf[-1]
 
+    if cell == "atomic_int" and rt.config.engine == "compiled":
+        # Compiled lowering: same shape as the uniform mix — one CDF draw
+        # per op yields the target column; the op cycle shares one route.
+        def main_compiled() -> WorkloadResult:
+            rt.reset_measurements()
+            with rt.timed() as t:
+                run_uniform_atomic_phase(
+                    rt,
+                    homes=[i % nloc for i in range(num_cells)],
+                    tasks_per_locale=tasks_per_locale,
+                    column_fn=zipf_column_fn(ops_per_task, cdf, total_w),
+                )
+            return WorkloadResult(
+                elapsed=t.elapsed,
+                operations=ntasks * ops_per_task,
+                comm=rt.comm_totals(),
+                extra={"hot_cell_share": weights[0] / total_w},
+            )
+
+        return rt.run(main_compiled)
+
     def main() -> WorkloadResult:
         if cell == "atomic_int":
             cells = [rt.atomic_int(0, locale=i % nloc) for i in range(num_cells)]
@@ -617,6 +651,13 @@ def run_epoch_mixed(
         # placement above (remote_percent) is defined against.
         bounds = [num_items * r // rounds // nloc * nloc for r in range(rounds)]
         bounds.append(num_items)
+        # The EBR pin/defer/unpin round has a fixed charge stream (no
+        # mid-phase epoch advances — reclamation is root-driven between
+        # rounds), so it lowers to a batch replay; the scan-based schemes
+        # (hp/qsbr/ibr list traversals) stay interpreted.
+        compiled = (
+            rt.config.engine == "compiled" and rt.config.reclaimer == "ebr"
+        )
         advances = 0
         rt.reset_measurements()
         with rt.timed() as t:
@@ -624,12 +665,22 @@ def run_epoch_mixed(
                 chunk = range(bounds[r], bounds[r + 1])
                 if len(chunk) == 0:
                     continue
-                rt.forall(
-                    chunk,
-                    body,
-                    task_init=bank.task_init,
-                    tasks_per_locale=tasks_per_locale,
-                )
+                if compiled:
+                    run_ebr_epoch_phase(
+                        rt,
+                        items=chunk,
+                        is_write=is_write,
+                        objs=objs,
+                        tokens=bank._tokens,
+                        tokens_per_locale=tasks_per_locale,
+                    )
+                else:
+                    rt.forall(
+                        chunk,
+                        body,
+                        task_init=bank.task_init,
+                        tasks_per_locale=tasks_per_locale,
+                    )
                 if reclaim_between_rounds and r + 1 < rounds:
                     em.phase_boundary()
                     if em.try_reclaim():

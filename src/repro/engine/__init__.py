@@ -1,0 +1,37 @@
+"""Batch-compiled workload execution (the ``engine = "compiled"`` axis).
+
+Two halves (see docs/ENGINE.md):
+
+* :mod:`repro.engine.opstream` — the columnar IR: lowering a task's fixed
+  op stream into per-op target columns ahead of the run.
+* :mod:`repro.engine.executor` — the serial replay engine: borrows every
+  ``ServicePoint`` on the phase's routes into plain lists, replays the
+  spawn-submission (pool-size-1) schedule with the ``serve_locked``
+  recurrence inlined, and writes reservations, diag stripes and reclaim
+  state back at phase exit.  Bit-identical to the interpreter by
+  construction; wall-clock only.
+"""
+
+from .executor import (
+    NotCompilable,
+    run_ebr_epoch_phase,
+    run_uniform_atomic_phase,
+)
+from .opstream import (
+    fast_randbelow,
+    mix_column,
+    mix_column_fn,
+    zipf_column,
+    zipf_column_fn,
+)
+
+__all__ = [
+    "NotCompilable",
+    "run_uniform_atomic_phase",
+    "run_ebr_epoch_phase",
+    "fast_randbelow",
+    "mix_column",
+    "mix_column_fn",
+    "zipf_column",
+    "zipf_column_fn",
+]

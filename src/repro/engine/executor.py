@@ -1,0 +1,518 @@
+"""The compiled-engine executor: serial columnar replay of whole phases.
+
+Why serial replay is bit-identical
+----------------------------------
+The engine's load-bearing invariant (docs/ENGINE.md, pinned by
+tests/test_engine.py) is that virtual results are independent of
+real-thread scheduling and therefore of the worker-pool size.  A pool of
+size one runs a ``forall``'s tasks to completion in spawn-submission
+order — so replaying the same tasks serially on the root thread, in
+spawn-submission order, with the same per-task clocks, RNG seeds, task
+ids and charge sequences, is just another legal schedule and produces
+bit-identical virtual time, comm totals and reclaim stats.  The payoff is
+that the serial replay needs **no locks, no TLS lookups, no per-op
+dispatch**: every ``ServicePoint`` involved in the phase is borrowed into
+a plain ``[next_free, idle_bank, busy_delta, served_delta]`` list, the
+``serve_locked`` float recurrence is inlined into the replay loop
+(float-op for float-op — same operations, same order, same rounding), and
+diagnostics are restored with whole-array counter adds at phase exit.
+
+Borrow discipline
+-----------------
+A phase executor runs *on the root task* between ``forall`` joins, so no
+other thread can touch the borrowed points, the limbo chains, or the
+token epoch slots while it runs.  All mutated state — point reservations,
+diag stripes, limbo/pool chains, token slots, ``deferred_count`` — is
+written back before the executor returns; interpreted code (root-driven
+``tryReclaim`` between rounds, ``clear()`` at the end) then operates on
+exactly the state an interpreted phase would have left.
+
+``ServicePoint.busy_time`` is restored as one aggregate float add per
+point (``served`` is an exact integer add).  Interpreted accumulation
+order of ``busy_time`` is itself real-schedule-dependent, so it was never
+part of the bit-identity contract — elapsed virtual time, comm totals and
+reclaim stats are, and those round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..runtime.context import current_context
+from ..runtime.tasking import spawn_tree_overhead
+
+__all__ = [
+    "NotCompilable",
+    "run_uniform_atomic_phase",
+    "run_ebr_epoch_phase",
+]
+
+
+class NotCompilable(RuntimeError):
+    """Raised when a phase's charge plan cannot be lowered (caller should
+    have gated on the workload shape first — see docs/ENGINE.md)."""
+
+
+class _PointLedger:
+    """Borrowed ``ServicePoint`` states for one compiled phase.
+
+    Each borrowed point becomes a ``[next_free, idle_bank, busy_delta,
+    served_delta]`` list the replay loops mutate without locking;
+    :meth:`writeback` restores the reservation state and applies the
+    accumulated busy/served deltas under the point's own lock.
+    """
+
+    __slots__ = ("_by_id", "_entries")
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, list] = {}
+        self._entries: List[tuple] = []
+
+    def state(self, point) -> list:
+        key = id(point)
+        st = self._by_id.get(key)
+        if st is None:
+            st = [point.next_free, point.idle_bank, 0.0, 0]
+            self._by_id[key] = st
+            self._entries.append((point, st))
+        return st
+
+    def writeback(self) -> None:
+        for point, st in self._entries:
+            with point._lock:
+                point.next_free = st[0]
+                point.idle_bank = st[1]
+                point.busy_time += st[2]
+                point.served += st[3]
+
+
+def _serve(st: list, arrival: float, service: float) -> float:
+    """``ServicePoint.serve_locked`` over a borrowed state list.
+
+    Same float operations in the same order as the interpreted body (keep
+    in sync with :meth:`repro.runtime.clock.ServicePoint.serve_locked`);
+    busy/served land in the delta slots for aggregate writeback.
+    """
+    st[2] += service
+    st[3] += 1
+    next_free = st[0]
+    if arrival >= next_free:
+        st[1] += arrival - next_free
+        st[0] = finish = arrival + service
+        return finish
+    bank = st[1]
+    if bank >= service:
+        st[1] = bank - service
+        return arrival + service
+    st[1] = 0.0
+    finish = next_free + (service - bank)
+    floor = arrival + service
+    if finish < floor:
+        finish = floor
+    st[0] = finish
+    return finish
+
+
+def _forall_prologue(rt, ctx, active_locales, total_tasks) -> float:
+    """The spawn-side bookkeeping of ``Runtime.forall``: every compiled
+    task starts at ``now + spawn-tree overhead``, exactly as a spawned
+    one would."""
+    overhead = spawn_tree_overhead(
+        total_tasks,
+        rt.network.spawn_broadcast_cost(ctx.locale_id, active_locales),
+    )
+    return ctx.clock.now + overhead
+
+
+def _forall_epilogue(rt, ctx, finish: float) -> None:
+    """The join-side bookkeeping of ``Runtime.forall``."""
+    ctx.clock.advance_to(finish)
+    ctx.clock.advance(rt.config.costs.task_join)
+
+
+def _writeback_diags(diags, diag_counts: List[List[int]]) -> None:
+    """Apply per-(locale, op-index) counter deltas to this thread's stripe."""
+    rows = diags._rows()
+    for locale, deltas in enumerate(diag_counts):
+        row = rows[locale]
+        for index, n in enumerate(deltas):
+            if n:
+                row[index] += n
+
+
+# ---------------------------------------------------------------------------
+# Uniform narrow-atomic phases (atomic mix, hotspot)
+# ---------------------------------------------------------------------------
+
+
+def run_uniform_atomic_phase(
+    rt,
+    *,
+    homes: Sequence[int],
+    tasks_per_locale: int,
+    column_fn,
+) -> None:
+    """Replay one ``forall(range(nloc * tpl), body)`` of narrow atomic ops.
+
+    ``homes[ci]`` is the home locale of cell ``ci``; ``column_fn(rng)``
+    lowers one task's op stream into a column of cell indices (see
+    :mod:`repro.engine.opstream`).  Every op charges the cell's
+    narrow-plain route for the issuing locale's distance class — the
+    route any of read/write/CAS/exchange charges on an ``AtomicInt64`` —
+    so only the target cell per op needs materializing.
+
+    The cells themselves are *virtual*: each gets a fresh
+    ``[0.0, 0.0, ...]`` line state (a brand-new ``ServicePoint`` starts
+    zeroed), never written back — workload cells are phase-local and
+    nothing observes them afterwards.  Real shared points on the routes
+    (NIC pipelines, progress threads, uplinks) are borrowed and restored.
+    """
+    ctx = current_context()
+    net = rt.network
+    nloc = rt.num_locales
+    tpl = tasks_per_locale
+    ncells = len(homes)
+
+    # ---- compile: per-(locale, cell) charge plans from the route cube --
+    ledger = _PointLedger()
+    lines = [[0.0, 0.0, 0.0, 0] for _ in range(ncells)]
+    narrow_by_home: Dict[int, tuple] = {}
+    dist_by_home: Dict[int, tuple] = {}
+    plans_by_locale: List[list] = []
+    for locale in range(nloc):
+        plans = []
+        for ci in range(ncells):
+            home = homes[ci]
+            row = narrow_by_home.get(home)
+            if row is None:
+                row = narrow_by_home[home] = net.atomic_class_routes(home)[0]
+                dist_by_home[home] = net.distance_row(home)
+            route = row[dist_by_home[home][locale]]
+            point_state = (
+                ledger.state(route.point) if route.point is not None else None
+            )
+            plans.append(
+                (
+                    route.latency,
+                    point_state,
+                    route.point_service,
+                    lines[ci],
+                    route.line_service,
+                    route.diag_index,
+                )
+            )
+        plans_by_locale.append(plans)
+
+    # ---- forall bookkeeping (one item per task: body(task_idx)) --------
+    total_tasks = nloc * tpl
+    if total_tasks == 0:
+        return
+    start = _forall_prologue(rt, ctx, list(range(nloc)), total_tasks)
+    seed_base = rt.config.seed << 20
+    diags = net.diags
+    record = diags._enabled
+    diag_counts = [[0] * 9 for _ in range(nloc)]
+
+    # ---- replay: spawn-submission order == the pool-size-1 schedule ----
+    finish = start
+    for locale in range(nloc):
+        plans = plans_by_locale[locale]
+        deltas = diag_counts[locale]
+        for _w in range(tpl):
+            task_id = rt._next_task_id()
+            rng = Random()
+            rng.seed(seed_base ^ task_id)
+            column = column_fn(rng)
+            now = start
+            for ci in column:
+                latency, pst, ps, lst, ls, _di = plans[ci]
+                t = now + latency
+                if pst is not None:
+                    # Inlined serve_locked (point pass) — keep in sync
+                    # with ServicePoint.serve_locked.
+                    pst[2] += ps
+                    pst[3] += 1
+                    nf = pst[0]
+                    if t >= nf:
+                        pst[1] += t - nf
+                        pst[0] = t = t + ps
+                    else:
+                        b = pst[1]
+                        if b >= ps:
+                            pst[1] = b - ps
+                            t = t + ps
+                        else:
+                            pst[1] = 0.0
+                            f = nf + (ps - b)
+                            floor = t + ps
+                            if f < floor:
+                                f = floor
+                            pst[0] = t = f
+                # Inlined serve_locked (line pass).
+                nf = lst[0]
+                if t >= nf:
+                    lst[1] += t - nf
+                    lst[0] = now = t + ls
+                else:
+                    b = lst[1]
+                    if b >= ls:
+                        lst[1] = b - ls
+                        now = t + ls
+                    else:
+                        lst[1] = 0.0
+                        f = nf + (ls - b)
+                        floor = t + ls
+                        if f < floor:
+                            f = floor
+                        lst[0] = now = f
+            if now > finish:
+                finish = now
+            if record:
+                for ci, n in Counter(column).items():
+                    deltas[plans[ci][5]] += n
+
+    # ---- join + writeback ---------------------------------------------
+    _forall_epilogue(rt, ctx, finish)
+    ledger.writeback()
+    if record:
+        _writeback_diags(diags, diag_counts)
+
+
+# ---------------------------------------------------------------------------
+# EBR pin/defer/unpin phases (epoch_mixed)
+# ---------------------------------------------------------------------------
+
+
+def _narrow_plan(net, cell, locale: int, ledger: _PointLedger) -> tuple:
+    """Lower one real cell's narrow charge from ``locale`` into a replay
+    plan ``(latency, point_state, point_service, line_state, line_service,
+    diag_index)``.
+
+    Token and instance-epoch cells are ``opt_out`` (pure-CPU routes, no
+    point); limbo/pool heads are ordinary cells whose local charge rides
+    the home NIC under ``ugni``.  Both the optional home-level point and
+    the cell's own line are borrowed through the ledger, so their
+    reservation state round-trips across phases exactly as interpreted
+    charges would leave it.
+    """
+    routes = net.atomic_class_routes(cell.home)
+    route = routes[1 if cell.opt_out else 0][cell._dist[locale]]
+    point_state = ledger.state(route.point) if route.point is not None else None
+    return (
+        route.latency,
+        point_state,
+        route.point_service,
+        ledger.state(cell.line),
+        route.line_service,
+        route.diag_index,
+    )
+
+
+def _charge(plan: tuple, now: float) -> float:
+    """Replay one narrow charge: optional point pass, then the line pass
+    (the interpreted ``AtomicCell._charge`` virtual math, lock-free)."""
+    latency, pst, ps, lst, ls, _di = plan
+    t = now + latency
+    if pst is not None:
+        t = _serve(pst, t, ps)
+    return _serve(lst, t, ls)
+
+
+class _InstanceLedger:
+    """Borrowed mutable state of one ``_EpochManagerInstance``.
+
+    Pool and limbo chains are replayed over the *real* ``LimboNode``
+    objects (links included), so the interpreted drain/reclaim code
+    between rounds walks exactly the chains an interpreted phase would
+    have built.
+    """
+
+    __slots__ = (
+        "inst",
+        "epoch_cell",
+        "limbo",
+        "limbo_cur",
+        "pool",
+        "pool_cur",
+        "pool_alloc_delta",
+        "defer_delta",
+        "plans",
+    )
+
+    def __init__(self, inst) -> None:
+        self.inst = inst
+        self.epoch_cell = inst.locale_epoch
+        # The phase files deferred objects under the *current* locale
+        # epoch, constant for the whole phase (only root-driven reclaim
+        # between phases advances it).
+        epoch = inst.locale_epoch.peek()
+        self.limbo = inst.limbo_lists[epoch - 1]
+        self.limbo_cur = self.limbo._head.peek()
+        self.pool = inst.pool
+        self.pool_cur = (
+            self.pool._head.peek() if self.pool is not None else None
+        )
+        self.pool_alloc_delta = 0
+        self.defer_delta = 0
+        #: Per-caller-locale route plans, filled on demand.
+        self.plans: Dict[int, tuple] = {}
+
+    def plans_for(self, net, locale: int, ledger: _PointLedger) -> tuple:
+        plans = self.plans.get(locale)
+        if plans is None:
+            epoch_plan = _narrow_plan(net, self.epoch_cell, locale, ledger)
+            limbo_plan = _narrow_plan(net, self.limbo._head, locale, ledger)
+            pool_plan = (
+                _narrow_plan(net, self.pool._head, locale, ledger)
+                if self.pool is not None
+                else None
+            )
+            plans = self.plans[locale] = (epoch_plan, limbo_plan, pool_plan)
+        return plans
+
+    def writeback(self) -> None:
+        self.limbo._head._value = self.limbo_cur
+        if self.pool is not None:
+            self.pool._head._value = self.pool_cur
+            self.pool.allocated += self.pool_alloc_delta
+        self.inst.deferred_count += self.defer_delta
+
+
+def run_ebr_epoch_phase(
+    rt,
+    *,
+    items: Sequence[int],
+    is_write: Sequence[bool],
+    objs: Sequence[Any],
+    tokens: List[List[Any]],
+    tokens_per_locale: int,
+) -> None:
+    """Replay one round of ``run_epoch_mixed`` under the EBR manager.
+
+    Mirrors ``forall(items, body, task_init=bank.task_init)`` where the
+    body pins, defer-deletes ``objs[item]`` when ``is_write[item]``, and
+    unpins.  The charge stream per item is fixed (no mid-phase epoch
+    advances — reclamation is root-driven between rounds), so the whole
+    round lowers: 3 pin charges + optional (2 reads + pool get + limbo
+    exchange) + 1 unpin charge, all CPU-priced cache-line passes against
+    the instance epoch cell, the task's token slot, and the pool/limbo
+    heads.  Limbo and pool chains are mutated over the real nodes so the
+    interpreted reclaim code sees exactly the interpreted state.
+    """
+    ctx = current_context()
+    net = rt.network
+    nloc = rt.num_locales
+    tpl = tokens_per_locale
+
+    # ---- forall item distribution (cyclic by position) -----------------
+    data = list(items)
+    per_locale: List[List[int]] = [[] for _ in range(nloc)]
+    for idx, item in enumerate(data):
+        per_locale[idx % nloc].append(item)
+    ntasks_by_locale = [min(tpl, len(c)) if c else 0 for c in per_locale]
+    total_tasks = sum(ntasks_by_locale)
+    if total_tasks == 0:
+        return
+    active = [lid for lid, c in enumerate(per_locale) if c]
+    start = _forall_prologue(rt, ctx, active, total_tasks)
+
+    # ---- compile: per-instance and per-token charge plans --------------
+    from ..core.limbo_list import LimboNode
+
+    ledger = _PointLedger()
+    inst_ledgers: Dict[int, _InstanceLedger] = {}
+    by_locale_inst: List[Optional[_InstanceLedger]] = [None] * nloc
+    for lid in active:
+        # A locale's pre-registered tokens all lease the same (possibly
+        # privatized) manager instance; take it from the token itself so
+        # the replay charges exactly the cells the interpreted pin/defer
+        # bodies would.
+        inst = tokens[lid][0]._inst
+        il = inst_ledgers.get(id(inst))
+        if il is None:
+            il = inst_ledgers[id(inst)] = _InstanceLedger(inst)
+        by_locale_inst[lid] = il
+
+    diags = net.diags
+    record = diags._enabled
+    diag_counts = [[0] * 9 for _ in range(nloc)]
+    used_tokens = []
+
+    # ---- replay: spawn-submission order ---------------------------------
+    finish = start
+    for locale in active:
+        chunk = per_locale[locale]
+        ntasks = ntasks_by_locale[locale]
+        il = by_locale_inst[locale]
+        ie_plan, lm_plan, pl_plan = il.plans_for(net, locale, ledger)
+        ie_di = ie_plan[5]
+        lm_di = lm_plan[5]
+        pool = il.pool
+        if pool is not None:
+            pl_di = pl_plan[5]
+        deltas = diag_counts[locale]
+        for w in range(ntasks):
+            task_id = rt._next_task_id()
+            tok = tokens[locale][task_id % tpl]
+            used_tokens.append(tok)
+            tk_plan = _narrow_plan(net, tok.local_epoch, locale, ledger)
+            tk_di = tk_plan[5]
+            now = start
+            for item in chunk[w::ntasks]:
+                # pin(): inst-epoch read, token write, revalidation read.
+                now = _charge(ie_plan, now)
+                now = _charge(tk_plan, now)
+                now = _charge(ie_plan, now)
+                if record:
+                    deltas[ie_di] += 2
+                    deltas[tk_di] += 2  # pin write + unpin write
+                if is_write[item]:
+                    # defer_delete(): pinned check + epoch read ...
+                    now = _charge(tk_plan, now)
+                    now = _charge(ie_plan, now)
+                    if record:
+                        deltas[tk_di] += 1
+                        deltas[ie_di] += 1
+                    # ... then limbo push: pool get + head exchange.
+                    if pool is not None:
+                        now = _charge(pl_plan, now)
+                        node = il.pool_cur
+                        if node is None:
+                            node = LimboNode()
+                            il.pool_alloc_delta += 1
+                            if record:
+                                deltas[pl_di] += 1
+                        else:
+                            # Non-empty pool: the pop CAS is a second
+                            # charge on the pool head.
+                            now = _charge(pl_plan, now)
+                            il.pool_cur = node.next
+                            if record:
+                                deltas[pl_di] += 2
+                        node.val = objs[item]
+                        node.next = None
+                    else:
+                        node = LimboNode()
+                        node.val = objs[item]
+                    now = _charge(lm_plan, now)
+                    node.next = il.limbo_cur
+                    il.limbo_cur = node
+                    il.defer_delta += 1
+                    if record:
+                        deltas[lm_di] += 1
+                # unpin(): token write (diag counted with pin above).
+                now = _charge(tk_plan, now)
+            if now > finish:
+                finish = now
+
+    # ---- join + writeback ---------------------------------------------
+    _forall_epilogue(rt, ctx, finish)
+    for tok in used_tokens:
+        tok.local_epoch.poke(0)
+    for il in inst_ledgers.values():
+        il.writeback()
+    ledger.writeback()
+    if record:
+        _writeback_diags(diags, diag_counts)

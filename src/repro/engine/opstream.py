@@ -1,0 +1,92 @@
+"""Columnar op-stream IR: lowering fixed workload streams ahead of replay.
+
+The determinism contract (see the notes in :mod:`repro.bench.workloads`)
+already forces every scenario workload to emit *fixed* op streams: each
+task's targets come from its seeded RNG or precomputed tables, never from
+values another task wrote.  That discipline is exactly the precondition
+for **batch compilation** — if the op sequence is known before the phase
+runs, the whole phase can be lowered into columnar arrays and replayed in
+one tight pass instead of one Python dispatch chain per op.
+
+This module is the front end: it turns a task's RNG into the column of
+per-op cell indices the executor (:mod:`repro.engine.executor`) replays.
+The columns must consume *the identical bit stream* the interpreted task
+bodies consume — one draw per op, in op order — so that a compiled run is
+bit-identical to an interpreted one; each lowering function documents the
+interpreted body it mirrors and is pinned against it by
+tests/test_engine_compiled.py.
+
+What lowers, what falls back
+----------------------------
+A phase is compilable when every op is a *narrow* atomic charge against a
+precompiled route and the stream is value-independent (CAS charges do not
+depend on CAS outcomes).  ``atomic_int`` mix/hotspot streams and the EBR
+pin/defer/unpin cycle qualify; ``AtomicObject`` variants (whose CAS path
+reads values) and the list-based reclaimers (whose scans are mid-phase
+and value-dependent) do not — their generators silently run the
+interpreter regardless of the configured engine.  See docs/ENGINE.md.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, List, Sequence
+
+__all__ = [
+    "fast_randbelow",
+    "mix_column",
+    "zipf_column",
+    "mix_column_fn",
+    "zipf_column_fn",
+]
+
+
+def fast_randbelow(rng) -> Callable[[int], int]:
+    """The fast per-op cell draw shared by every uniform-mix stream.
+
+    ``Random.randrange(n)`` is a thin, surprisingly expensive wrapper over
+    ``_randbelow(n)`` for a positive int bound; calling the latter
+    directly consumes the identical bit stream (so the op sequence — and
+    therefore virtual time and comm counts — is unchanged) at a fraction
+    of the call cost.  Both the interpreted workload bodies and the
+    compiled lowerings draw through this one helper, which is what makes
+    "same bit stream" checkable in one place instead of four.
+    """
+    return rng._randbelow
+
+
+def mix_column(rng, n_ops: int, ncells: int) -> List[int]:
+    """Lower one task of the uniform atomic mix into a cell-index column.
+
+    Mirrors ``run_atomic_mix``'s ``body_int``: one ``_randbelow(ncells)``
+    draw per op, in op order.  The 25/25/25/25 read/write/CAS/exchange
+    cycle needs no column of its own — all four ops charge the same
+    narrow route, so only the target cell matters for replay.
+    """
+    randbelow = fast_randbelow(rng)
+    return [randbelow(ncells) for _ in range(n_ops)]
+
+
+def zipf_column(
+    rng, n_ops: int, cdf: Sequence[float], total_w: float
+) -> List[int]:
+    """Lower one task of the Zipf hotspot into a cell-index column.
+
+    Mirrors ``run_atomic_hotspot``'s ``body_int``: one ``rng.random()``
+    draw + bisect over the truncated-Zipf CDF per op, in op order.
+    """
+    random = rng.random
+    pick = bisect_left
+    return [pick(cdf, random() * total_w) for _ in range(n_ops)]
+
+
+def mix_column_fn(n_ops: int, ncells: int) -> Callable:
+    """A ``column_fn(rng)`` closure for the uniform mix (executor input)."""
+    return lambda rng: mix_column(rng, n_ops, ncells)
+
+
+def zipf_column_fn(
+    n_ops: int, cdf: Sequence[float], total_w: float
+) -> Callable:
+    """A ``column_fn(rng)`` closure for the Zipf hotspot (executor input)."""
+    return lambda rng: zipf_column(rng, n_ops, cdf, total_w)

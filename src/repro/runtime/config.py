@@ -27,13 +27,20 @@ from ..comm.costs import CostModel, DEFAULT_COSTS
 from ..comm.topology import Topology, parse_topology
 from ..errors import LocaleError
 
-__all__ = ["NetworkType", "RuntimeConfig", "RECLAIMER_SCHEMES"]
+__all__ = ["NetworkType", "RuntimeConfig", "RECLAIMER_SCHEMES", "ENGINES"]
 
 #: Canonical names of the pluggable memory-reclamation schemes (see
 #: :mod:`repro.reclaim`).  Declared here — not in ``repro.reclaim`` — so
 #: that config validation does not import the reclaimer implementations
 #: (which themselves build on the runtime).
 RECLAIMER_SCHEMES = ("ebr", "hp", "qsbr", "ibr")
+
+#: Workload execution engines (see :mod:`repro.engine` and docs/ENGINE.md):
+#: ``"interpreted"`` charges every operation as it happens on real worker
+#: threads; ``"compiled"`` lets workloads lower fixed op streams into
+#: columnar batches replayed serially.  Bit-identical by contract — the
+#: axis trades wall-clock only, never virtual results.
+ENGINES = ("interpreted", "compiled")
 
 
 class NetworkType(enum.Enum):
@@ -119,6 +126,15 @@ class RuntimeConfig:
         to the pre-aggregation engine.  Accepts an int, a string spec, a
         ``{"window": N}`` mapping, or an
         :class:`~repro.comm.aggregation.AggregationSpec`.
+    engine:
+        Workload execution engine (see :data:`ENGINES` and
+        docs/ENGINE.md): ``"interpreted"`` (the default) runs op streams
+        on real worker threads charging per operation; ``"compiled"``
+        asks workload generators to lower their fixed op streams into
+        columnar batches replayed by :mod:`repro.engine`.  Virtual
+        results are bit-identical either way — the knob trades wall-clock
+        only.  Generators without a compiled lowering silently fall back
+        to the interpreter.
     """
 
     num_locales: int = 4
@@ -132,6 +148,7 @@ class RuntimeConfig:
     reclaimer: str = "ebr"
     topology: Any = "flat"
     aggregation: Any = 1
+    engine: str = "interpreted"
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -155,6 +172,11 @@ class RuntimeConfig:
             raise ValueError(
                 f"unknown reclaimer {self.reclaimer!r}; expected one of"
                 f" {list(RECLAIMER_SCHEMES)}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of"
+                f" {list(ENGINES)}"
             )
         # Normalize string network names passed positionally.
         object.__setattr__(self, "network", NetworkType.parse(self.network))
@@ -202,6 +224,7 @@ class RuntimeConfig:
         reclaimer: str = "ebr",
         topology: Any = "flat",
         aggregation: Any = 1,
+        engine: str = "interpreted",
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -229,6 +252,7 @@ class RuntimeConfig:
             reclaimer=reclaimer,
             topology=topology,
             aggregation=aggregation,
+            engine=engine,
         )
 
     @property

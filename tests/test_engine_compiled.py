@@ -1,0 +1,245 @@
+"""The compiled-engine bit-identity gate (docs/ENGINE.md).
+
+The ``engine = "compiled"`` axis must never change virtual results: for
+every workload — whether it lowers to the batch executor or silently
+falls back to the interpreter — virtual time, comm totals, and reclaim
+stats must be bit-identical to an interpreted run, across the scenario
+registry, all four reclaimers, and worker-pool sizes {1, 2, 4, 8}.
+
+Alongside the end-to-end gate, the column lowerings of
+:mod:`repro.engine.opstream` are pinned against the RNG streams the
+interpreted task bodies consume — the "same bit stream" precondition the
+executor's replay correctness rests on.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import scenarios
+from repro.bench.workloads import (
+    run_atomic_hotspot,
+    run_atomic_mix,
+    run_epoch_mixed,
+)
+from repro.engine.opstream import fast_randbelow, mix_column, zipf_column
+from repro.runtime.config import ENGINES, RECLAIMER_SCHEMES, RuntimeConfig
+from repro.runtime.runtime import Runtime
+
+
+def _fingerprint(result):
+    """Everything the bit-identity contract pins for one workload run."""
+    return (
+        result.elapsed,
+        result.operations,
+        tuple(sorted(result.comm.items())),
+        scenarios._jsonable(result.extra),
+    )
+
+
+def _run_scenario(name, engine, **topo_overrides):
+    spec = scenarios.get_scenario(name).with_topology(
+        engine=engine, **topo_overrides
+    )
+    spec = spec.with_measure(ops_scale=0.25)
+    return _fingerprint(scenarios.run_scenario(spec).result)
+
+
+# A slice of the registry covering every lowering path: the compiled
+# atomic mix and hotspot (flat / hier / dragonfly / AM transport), the
+# compiled EBR epoch rounds (open aggregation windows, ragged shapes),
+# the hp fallback inside an otherwise-compilable epoch_mixed, and
+# workload kinds with no lowering at all (churn, multi_structure).
+SCENARIO_SAMPLE = [
+    "paper-atomic-mix",
+    "hotspot-zipf",
+    "hotspot-zipf-am",
+    "topo-dragonfly-hotspot",
+    "write-heavy-reclaim",
+    "topo-hier-agg-ebr-w16",
+    "topo-hier-ragged",
+    "topo-dragonfly-agg-ebr-w16",
+    "topo-dragonfly-agg-hp-w16",
+    "queue-churn",
+    "multi-structure",
+]
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("name", SCENARIO_SAMPLE)
+    def test_compiled_matches_interpreted(self, name):
+        interpreted = _run_scenario(name, "interpreted")
+        compiled = _run_scenario(name, "compiled")
+        assert compiled == interpreted
+
+    @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
+    def test_all_reclaimers(self, scheme):
+        # epoch_mixed under every scheme: EBR takes the batch replay,
+        # the scan-based schemes must fall back without drift.
+        name = f"reclaim-hotspot-{scheme}"
+        interpreted = _run_scenario(name, "interpreted")
+        compiled = _run_scenario(name, "compiled")
+        assert compiled == interpreted
+
+    @pytest.mark.parametrize("pool", [1, 2, 4, 8])
+    @pytest.mark.parametrize(
+        "name", ["paper-atomic-mix", "topo-hier-agg-ebr-w16"]
+    )
+    def test_pool_sizes(self, name, pool):
+        # The compiled replay is one legal (pool-size-1) schedule; it
+        # must agree with interpreted runs at every pool size, and a
+        # compiled run's own pool size must be irrelevant.
+        interpreted = _run_scenario(name, "interpreted", worker_pool_size=pool)
+        compiled = _run_scenario(name, "compiled", worker_pool_size=pool)
+        assert compiled == interpreted
+
+
+class TestWorkloadEquivalence:
+    """Direct workload-level equivalence on shapes the registry lacks."""
+
+    @staticmethod
+    def _results(fn, kwargs, **cfg):
+        out = []
+        for engine in ENGINES:
+            rt = Runtime(config=RuntimeConfig(engine=engine, **cfg))
+            out.append(_fingerprint(fn(rt, **kwargs)))
+        return out
+
+    @pytest.mark.parametrize("network", ["ugni", "none"])
+    @pytest.mark.parametrize("nloc", [1, 3])
+    def test_mix_small_machines(self, network, nloc):
+        a, b = self._results(
+            run_atomic_mix,
+            dict(kind="atomic_int", ops_per_task=48, tasks_per_locale=2),
+            num_locales=nloc,
+            network=network,
+            tasks_per_locale=2,
+        )
+        assert a == b
+
+    def test_hotspot_skewed(self):
+        a, b = self._results(
+            run_atomic_hotspot,
+            dict(
+                cell="atomic_int",
+                ops_per_task=64,
+                tasks_per_locale=2,
+                num_cells=8,
+                zipf_exponent=2.0,
+            ),
+            num_locales=4,
+            tasks_per_locale=2,
+        )
+        assert a == b
+
+    def test_epoch_mixed_multi_round_reclaim(self):
+        a, b = self._results(
+            run_epoch_mixed,
+            dict(
+                ops_per_task=48,
+                tasks_per_locale=1,
+                write_percent=75,
+                remote_percent=100,
+                rounds=4,
+            ),
+            num_locales=4,
+            tasks_per_locale=1,
+        )
+        assert a == b
+
+    def test_epoch_mixed_endonly_multitask(self):
+        a, b = self._results(
+            run_epoch_mixed,
+            dict(
+                ops_per_task=48,
+                tasks_per_locale=3,
+                write_percent=25,
+                remote_percent=0,
+                rounds=2,
+                reclaim_between_rounds=False,
+            ),
+            num_locales=4,
+            tasks_per_locale=3,
+        )
+        assert a == b
+
+    def test_object_mix_falls_back(self):
+        # AtomicObject variants have no lowering; the compiled engine
+        # must produce identical results by running the interpreter.
+        a, b = self._results(
+            run_atomic_mix,
+            dict(kind="atomic_object", ops_per_task=32, tasks_per_locale=1),
+            num_locales=2,
+            tasks_per_locale=1,
+        )
+        assert a == b
+
+
+class TestColumnLowerings:
+    """The columns must consume the interpreted bodies' exact RNG streams."""
+
+    def test_mix_column_pins_body_int_stream(self):
+        seed, ncells, n_ops = 0xC0FFEE ^ 7, 24, 100
+        rng = random.Random()
+        rng.seed(seed)
+        column = mix_column(rng, n_ops, ncells)
+        # The interpreted body draws rng._randbelow(ncells) once per op.
+        ref = random.Random()
+        ref.seed(seed)
+        assert column == [ref._randbelow(ncells) for _ in range(n_ops)]
+
+    def test_zipf_column_pins_body_stream(self):
+        import bisect
+
+        seed, n_ops = 12345, 64
+        weights = [1.0 / ((rank + 1) ** 1.2) for rank in range(16)]
+        cdf, acc = [], 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc)
+        rng = random.Random()
+        rng.seed(seed)
+        column = zipf_column(rng, n_ops, cdf, cdf[-1])
+        ref = random.Random()
+        ref.seed(seed)
+        assert column == [
+            bisect.bisect_left(cdf, ref.random() * cdf[-1])
+            for _ in range(n_ops)
+        ]
+
+    def test_fast_randbelow_matches_randrange_stream(self):
+        # The dedup'd helper must consume randrange's exact bit stream.
+        a = random.Random()
+        a.seed(99)
+        b = random.Random()
+        b.seed(99)
+        draw = fast_randbelow(a)
+        assert [draw(17) for _ in range(200)] == [
+            b.randrange(17) for _ in range(200)
+        ]
+
+
+class TestEngineAxis:
+    def test_runtime_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            RuntimeConfig(engine="vectorized")
+
+    def test_topology_spec_rejects_unknown_engine(self):
+        with pytest.raises(scenarios.ScenarioError, match="engine"):
+            scenarios.TopologySpec(engine="vectorized")
+
+    def test_engine_threads_through_topology_spec(self):
+        topo = scenarios.TopologySpec(engine="compiled")
+        assert topo.runtime_config().engine == "compiled"
+        assert topo.as_dict()["engine"] == "compiled"
+        # The default engine is omitted: it is not part of the simulated
+        # machine, so baselines never record it.
+        assert "engine" not in scenarios.TopologySpec().as_dict()
+
+    def test_baseline_entry_never_records_engine(self):
+        spec = scenarios.get_scenario("paper-atomic-mix").with_topology(
+            engine="compiled"
+        )
+        spec = spec.with_measure(ops_scale=0.25)
+        entry = scenarios.baseline_entry(scenarios.run_scenario(spec))
+        assert "engine" not in entry
