@@ -20,6 +20,7 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --run queue-churn --reclaimer hp
     python -m repro.bench scenarios --run queue-churn --topology hier:2x2
     python -m repro.bench scenarios --run topo-hier-reclaim-ebr --aggregation 8
+    python -m repro.bench scenarios --run topo-hier-reclaim-ebr --policy threshold:32
     python -m repro.bench scenarios --run hotspot-zipf --cost-profile wan
     python -m repro.bench scenarios --all --jobs 4 --out report.json
     python -m repro.bench scenarios --all --engine compiled
@@ -27,7 +28,8 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --spec my_scenario.toml
 
 ``--list --filter <substring>`` narrows the listing to scenarios whose
-name contains the substring (the registry has grown past one screen).
+name — or policy spec — contains the substring (the registry has grown
+past one screen).
 
 ``--reclaimer {ebr,hp,qsbr,ibr}`` overrides the memory-reclamation scheme
 of every selected scenario (see docs/RECLAMATION.md); the JSON report's
@@ -36,8 +38,10 @@ peak-pending counts — plus ``scan_batches`` / ``uplink_crossings`` when
 message aggregation batched any scan traffic.  ``--topology`` (``flat``,
 ``hier:SxL``, ``dragonfly:G`` — see docs/TOPOLOGY.md), ``--aggregation``
 (the uplink batching window, docs/AGGREGATION.md), ``--cost-profile``
-(``default``/``degraded``/``wan``) and ``--cost-scale`` override the
-simulated machine the same way; all five axes are recorded in reports
+(``default``/``degraded``/``wan``), ``--cost-scale`` and ``--policy``
+(the virtual-time policy pair — e.g. ``threshold:32`` or
+``threshold:32+adaptive:2..64``; see docs/POLICY.md) override the
+simulated machine the same way; all six axes are recorded in reports
 and baselines, and a run whose axis differs from the recorded baseline
 reports ``incomparable`` instead of pretending to compare.  None of them
 can be combined with ``--update-baselines`` (a scenario's baseline pins
@@ -136,6 +140,16 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         " when it differs from the recorded one)",
     )
     ap.add_argument(
+        "--policy",
+        metavar="SPEC",
+        default=None,
+        help="override the virtual-time policy pair of every selected"
+        " scenario (epoch cadence + aggregation window — e.g. 'fixed',"
+        " 'threshold:32', 'grace:1e-4', 'threshold:32+adaptive:2..64';"
+        " see docs/POLICY.md; baseline verdicts become 'incomparable'"
+        " when it differs from the recorded one)",
+    )
+    ap.add_argument(
         "--engine",
         choices=ENGINES,
         default=None,
@@ -199,6 +213,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         ("--reclaimer", args.reclaimer),
         ("--topology", args.topology),
         ("--aggregation", args.aggregation),
+        ("--policy", args.policy),
         ("--cost-profile", args.cost_profile),
         ("--cost-scale", args.cost_scale),
     ):
@@ -215,7 +230,12 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         specs = list(scenarios.iter_scenarios())
         if args.filter is not None:
             needle = args.filter.lower()
-            specs = [s for s in specs if needle in s.name.lower()]
+            specs = [
+                s
+                for s in specs
+                if needle in s.name.lower()
+                or needle in s.topology.policy.lower()
+            ]
             print(
                 f"{len(specs)} of {len(scenarios.scenario_names())}"
                 f" registered scenarios matching {args.filter!r}:\n"
@@ -226,7 +246,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             print(f"{len(specs)} registered scenarios:\n")
         header = (
             f"  {'name':24s} {'workload':16s} {'machine':7s} {'net':5s}"
-            f" {'topology':12s} {'costs':8s}"
+            f" {'topology':12s} {'costs':8s} {'policy':12s}"
         )
         print(header)
         print("  " + "-" * (len(header) - 2))
@@ -239,7 +259,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             line = (
                 f"  {spec.name:24s} {spec.workload.kind:16s}"
                 f" {machine:7s} {topo.network:5s} {topo.topology:12s}"
-                f" {costs:8s}"
+                f" {costs:8s} {topo.policy:12s}"
             )
             if topo.reclaimer != "ebr":
                 line += f" rec={topo.reclaimer}"
@@ -264,6 +284,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         topo_overrides["topology"] = args.topology
     if args.aggregation is not None:
         topo_overrides["aggregation"] = args.aggregation
+    if args.policy is not None:
+        topo_overrides["policy"] = args.policy
     if args.engine is not None:
         topo_overrides["engine"] = args.engine
     if args.cost_profile is not None:
@@ -299,6 +321,13 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
                 line += (
                     f" [agg: batches={rec.get('scan_batches', 0)}"
                     f" crossings={rec.get('uplink_crossings', 0)}]"
+                )
+            if run.spec.topology.policy != "fixed":
+                advances = rec.get("advances", rec.get("reclaims", 0))
+                line += (
+                    f" [policy: advances={advances}"
+                    f" deferrals={rec.get('policy_deferrals', 0)}"
+                    f" window={rec.get('window', 1)}]"
                 )
         line += f" (wall {run.wall_seconds:.2f}s)"
         print(line)

@@ -71,6 +71,7 @@ from ..comm.aggregation import parse_aggregation
 from ..comm.costs import resolve_cost_model
 from ..comm.topology import parse_topology
 from ..errors import ReproError
+from ..policy import parse_policy
 from ..runtime.config import (
     ENGINES,
     RECLAIMER_SCHEMES,
@@ -159,6 +160,14 @@ class TopologySpec:
     simulated machine — compiled execution is bit-identical by contract —
     so baselines verify unchanged under either engine and the key is
     never part of a baseline's identity.
+
+    ``policy`` selects the virtual-time policy pair (see
+    :mod:`repro.policy` and docs/POLICY.md) — an epoch-advance policy
+    gating root ``try_reclaim`` calls plus an aggregation-window policy:
+    e.g. ``"fixed"`` (default — today's cadence, bit-identical),
+    ``"threshold:64"``, ``"decay:64"``, ``"grace:1e-4"``, or
+    ``"threshold:32+adaptive:2..64"``.  Policies change the simulated
+    machine's decisions, so the axis *is* part of a baseline's identity.
     """
 
     locales: int = 8
@@ -173,6 +182,7 @@ class TopologySpec:
     reclaimer: str = "ebr"
     aggregation: Any = 1
     engine: str = "interpreted"
+    policy: Any = "fixed"
 
     def __post_init__(self) -> None:
         if not isinstance(self.locales, int) or self.locales < 1:
@@ -242,6 +252,14 @@ class TopologySpec:
                 f"topology.engine {self.engine!r} unknown; expected one of"
                 f" {list(ENGINES)}"
             )
+        # Validate the policy eagerly and normalize to its canonical spec
+        # string, so baselines compare "fixed"/"default"/None as the same
+        # machine and "static+threshold:64" equals "threshold:64+static".
+        try:
+            pol = parse_policy(self.policy)
+        except ValueError as exc:
+            raise ScenarioError(f"topology.policy: {exc}") from None
+        object.__setattr__(self, "policy", pol.spec())
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
@@ -263,6 +281,7 @@ class TopologySpec:
             topology=self.topology,
             aggregation=self.aggregation,
             engine=self.engine,
+            policy=self.policy,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -280,6 +299,8 @@ class TopologySpec:
             out["aggregation"] = self.aggregation
         if self.engine != "interpreted":
             out["engine"] = self.engine
+        if self.policy != "fixed":
+            out["policy"] = self.policy
         if self.cost_overrides:
             out["cost_overrides"] = dict(self.cost_overrides)
         if self.worker_pool_size is not None:
@@ -738,6 +759,7 @@ def baseline_entry(run: ScenarioRun) -> Dict[str, Any]:
         "reclaimer": run.spec.topology.reclaimer,
         "topology": run.spec.topology.topology,
         "aggregation": run.spec.topology.aggregation,
+        "policy": run.spec.topology.policy,
         "cost_profile": run.spec.topology.cost_profile,
         "cost_scale": run.spec.topology.cost_scale,
         "elapsed_virtual_s": run.result.elapsed,
@@ -765,6 +787,7 @@ def _baseline_status(run: ScenarioRun, baselines: Mapping[str, Any]) -> Dict[str
         ("reclaimer", "ebr", topo.reclaimer),
         ("topology", "flat", topo.topology),
         ("aggregation", 1, topo.aggregation),
+        ("policy", "fixed", topo.policy),
         ("cost_profile", "default", topo.cost_profile),
         ("cost_scale", 1.0, topo.cost_scale),
     ):
@@ -1183,6 +1206,95 @@ for _scheme in ("ebr", "hp"):
         },
     )
 del _scheme
+
+# Virtual-time policy sweeps (see repro.policy and docs/POLICY.md): the
+# same mixed deferDelete workload under each epoch-advance policy on the
+# hierarchical machine, and the adaptive-window head-to-head on the
+# dragonfly machine.  Four rounds give the epoch policies three mid-run
+# decision points; the parameters are tuned so each policy's decision
+# sequence actually differs from fixed's (threshold:512 defers all three,
+# decay:512 defers twice then advances as its effective threshold decays,
+# grace:1e-4 defers whenever the last virtual pin is within the grace
+# period).  All registered baselines pin the policy axis.
+for _policy, _blurb in (
+    ("threshold:512", "defers every mid-run advance (pending never"
+     " reaches 512 per locale) — the cheapest cadence"),
+    ("decay:512", "defers like threshold:512 until the deferral streak"
+     " decays the effective threshold under the pending count"),
+    ("grace:1e-4", "holds the epoch open while the last virtual-time pin"
+     " is younger than the grace period"),
+):
+    _kind = _policy.split(":", 1)[0]
+    _builtin(
+        f"policy-sweep-hier-{_kind}",
+        f"topo-hier-reclaim-ebr under policy {_policy} with four rounds:"
+        f" {_blurb}.",
+        {"locales": 8, "network": "ugni", "topology": "hier:2x2",
+         "policy": _policy},
+        {
+            "kind": "epoch_mixed",
+            "ops_per_task": 1024,
+            "write_percent": 50,
+            "remote_percent": 50,
+            "rounds": 4,
+        },
+    )
+del _policy, _blurb, _kind
+_builtin(
+    "policy-sweep-dragonfly-threshold",
+    "Mixed deferDelete traffic under hp on dragonfly:4 with policy"
+    " threshold:4096: root hazard scans — and their cross-group slot"
+    " reads — are skipped while per-guard retired buffers stay small;"
+    " the guard-local threshold scans (HP's bounded-garbage guarantee)"
+    " keep running ungated.",
+    {"locales": 8, "network": "ugni", "topology": "dragonfly:4",
+     "reclaimer": "hp", "aggregation": 16, "policy": "threshold:4096"},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 1024,
+        "write_percent": 50,
+        "remote_percent": 50,
+        "rounds": 4,
+    },
+)
+# The adaptive-window head-to-head: same 16-locale dragonfly:8 machine
+# (two groups of 8 — each root hazard scan reads 32 same-group slots, so
+# window 16 needs two uplink batches per group), once with the static
+# window the aggregation axis pins and once with the adaptive policy,
+# which observes full batches and grows the window until one batch per
+# group suffices.  The adaptive run must post lower virtual time than
+# this static twin — the registered baselines pin the gap.
+_builtin(
+    "policy-sweep-dragonfly-w16",
+    "The static twin of the adaptive head-to-head: mixed deferDelete"
+    " under hp on a 16-locale dragonfly:8 with the aggregation window"
+    " fixed at 16 — every root scan pays two uplink batches per group.",
+    {"locales": 16, "network": "ugni", "topology": "dragonfly:8",
+     "reclaimer": "hp", "aggregation": 16},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 1024,
+        "write_percent": 50,
+        "remote_percent": 50,
+        "rounds": 2,
+    },
+)
+_builtin(
+    "policy-sweep-dragonfly-adaptive",
+    "policy-sweep-dragonfly-w16 with the adaptive window policy"
+    " (adaptive:2..64): full 16-item batches grow the window until each"
+    " group's hazard slots ride one uplink batch — beats the static twin"
+    " on virtual time.",
+    {"locales": 16, "network": "ugni", "topology": "dragonfly:8",
+     "reclaimer": "hp", "aggregation": 16, "policy": "adaptive:2..64"},
+    {
+        "kind": "epoch_mixed",
+        "ops_per_task": 1024,
+        "write_percent": 50,
+        "remote_percent": 50,
+        "rounds": 2,
+    },
+)
 
 # Ragged shape: a hierarchy whose locale count does not fill the last
 # node (hier:2x3 over 8 locales = one full 6-locale node + one partial

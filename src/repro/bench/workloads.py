@@ -654,9 +654,15 @@ def run_epoch_mixed(
         # The EBR pin/defer/unpin round has a fixed charge stream (no
         # mid-phase epoch advances — reclamation is root-driven between
         # rounds), so it lowers to a batch replay; the scan-based schemes
-        # (hp/qsbr/ibr list traversals) stay interpreted.
+        # (hp/qsbr/ibr list traversals) stay interpreted.  A pin-time-
+        # tracking epoch policy (grace — docs/POLICY.md) also forces the
+        # interpreter: the replay charges pins without calling Token.pin,
+        # so it would never record the virtual pin times the policy's
+        # decisions read, and the two engines would diverge.
         compiled = (
-            rt.config.engine == "compiled" and rt.config.reclaimer == "ebr"
+            rt.config.engine == "compiled"
+            and rt.config.reclaimer == "ebr"
+            and not rt.config.resolved_policy().make_epoch_policy().wants_pin_times
         )
         advances = 0
         rt.reset_measurements()

@@ -168,15 +168,46 @@ class UplinkAggregator:
     never need their own fallback branch.
     """
 
-    def __init__(self, network: "NetworkModel", spec: AggregationSpec) -> None:
+    def __init__(
+        self,
+        network: "NetworkModel",
+        spec: AggregationSpec,
+        policy: "Any | None" = None,
+    ) -> None:
+        from ..policy import StaticWindowPolicy
+
         self._net = network
         self.spec = spec
-        self.window = spec.window
+        #: The window policy (docs/POLICY.md) owning the live window.
+        #: Default: a static policy pinned to the spec's window — the
+        #: bit-identical legacy behaviour.
+        self.policy = (
+            policy if policy is not None else StaticWindowPolicy(spec.window)
+        )
         #: True when batching can ever happen on this machine: the window
-        #: is open *and* the topology has at least one shared uplink.  A
-        #: flat machine is never active, whatever the window — the
-        #: flat-exactness guarantee.
-        self.active = spec.enabled and bool(network.uplinks)
+        #: is open — statically, or openable by a dynamic policy — *and*
+        #: the topology has at least one shared uplink.  A flat machine
+        #: is never active, whatever the window — the flat-exactness
+        #: guarantee.
+        self.active = (spec.enabled or self.policy.dynamic) and bool(
+            network.uplinks
+        )
+        self._dynamic = self.policy.dynamic and self.active
+
+    @property
+    def window(self) -> int:
+        """The live aggregation window (the policy's current value)."""
+        return self.policy.current
+
+    def policy_tick(self) -> None:
+        """Fold batch observations into the window (root-driven points).
+
+        Called by the reclamation managers at the end of their sequential
+        ``try_reclaim`` / ``clear`` paths — never from concurrent tasks —
+        so window movement is deterministic (docs/POLICY.md).
+        """
+        if self._dynamic:
+            self.policy.tick()
 
     # ------------------------------------------------------------------
     # grouping
@@ -234,7 +265,20 @@ class UplinkAggregator:
         point = net.uplinks[group]
         clock = ctx.clock
         t = clock.now + latency
-        clock.advance_to(point.serve(t, service))
+        finish = point.serve(t, service)
+        clock.advance_to(finish)
+        if self._dynamic:
+            # Feed the window policy its virtual-time facts: occupancy
+            # against the live window and the uplink queueing delay this
+            # batch experienced (``finish - service - t``; zero when the
+            # point was idle or the service fit a banked gap).  The fold
+            # is commutative-exact, so concurrent observers are safe.
+            self.policy.observe(
+                count=count,
+                window=self.policy.current,
+                queue_delay=finish - service - t,
+                marginal=extra * cc.am_batch_item_latency,
+            )
         if counters is not None:
             counters.batches += 1
             counters.crossings += 1

@@ -135,8 +135,14 @@ class NetworkModel:
         #: The coalescing layer for same-uplink operation batches (see
         #: :mod:`repro.comm.aggregation`).  Inert — every call degenerates
         #: to the legacy per-op path — when the window is 1 or the
-        #: topology has no shared uplinks.
-        self.aggregator = UplinkAggregator(self, self.aggregation)
+        #: topology has no shared uplinks.  The window is owned by the
+        #: machine's window policy (docs/POLICY.md): static by default,
+        #: adaptive under ``policy = "adaptive:lo..hi"``.
+        self.aggregator = UplinkAggregator(
+            self,
+            self.aggregation,
+            config.resolved_policy().make_window_policy(self.aggregation.window),
+        )
 
     # ------------------------------------------------------------------
     # topology plumbing

@@ -85,6 +85,10 @@ class EpochManagerStats:
         "scans_unsafe",
         "advances",
         "objects_reclaimed",
+        # Reclaim attempts deferred by the epoch-advance policy before
+        # the election (docs/POLICY.md).  Always zero under the default
+        # ``fixed`` policy.
+        "policy_deferrals",
         # Uplink-aware traversal diagnostics (docs/AGGREGATION.md):
         # aggregated messages issued and shared-uplink traversals paid by
         # the scan/drain/gather phases.  Zero under the legacy (flat /
@@ -242,6 +246,12 @@ class EpochManager(PrivatizedObject):
         paper's design — and the default — is 3; ``4`` holds objects one
         extra advance, closing the mid-advance stale-locale-cache window
         (DESIGN.md §6b) at the cost of extra memory residency.
+    policy:
+        Epoch-advance policy (docs/POLICY.md): a policy spec accepted by
+        :func:`repro.policy.parse_policy`, or ``None`` (the default) to
+        use the runtime's configured policy axis.  Non-``fixed`` policies
+        gate ``try_reclaim`` on virtual-time facts *before* the election,
+        so a deferred attempt costs zero virtual time.
     share_coherent:
         Socket-shared mode (docs/AGGREGATION.md): one privatized instance
         per CPU-coherence domain (via :func:`~repro.core.privatization.
@@ -262,8 +272,10 @@ class EpochManager(PrivatizedObject):
         use_scatter: bool = True,
         home: Optional[int] = None,
         epoch_cycle: int = EPOCH_CYCLE,
+        policy: "Optional[object]" = None,
         share_coherent: Optional[bool] = None,
     ) -> None:
+        from ..policy import parse_policy
         from ..runtime.context import maybe_context
         from .privatization import coherence_domains
 
@@ -275,6 +287,15 @@ class EpochManager(PrivatizedObject):
             ctx = maybe_context()
             home = ctx.locale_id if ctx is not None else 0
         self.epoch_cycle = int(epoch_cycle)
+        # The epoch-advance policy (docs/POLICY.md); resolved before the
+        # per-locale instances so token construction can see whether pin
+        # timestamps need tracking.
+        policy_spec = (
+            runtime.config.resolved_policy()
+            if policy is None
+            else parse_policy(policy)
+        )
+        self.policy = policy_spec.make_epoch_policy()
         self.global_epoch = _GlobalEpoch(runtime, runtime.locale(home).id)
         self.use_election = bool(use_election)
         self.use_scatter = bool(use_scatter)
@@ -399,6 +420,17 @@ class EpochManager(PrivatizedObject):
         inst: _EpochManagerInstance = self.get_privatized_instance()
         self.stats.inc("reclaim_attempts")
 
+        # Epoch-advance policy gate (docs/POLICY.md): a non-fixed policy
+        # may defer the whole attempt on virtual-time facts, before the
+        # election — no flags touched, zero virtual cost.  The default
+        # ``fixed`` policy short-circuits here without computing facts,
+        # keeping the legacy path bit-identical.
+        pol = self.policy
+        if not pol.always_advance and not pol.decide(self._policy_facts()):
+            self.stats.inc("policy_deferrals")
+            self._rt.network.aggregator.policy_tick()
+            return False
+
         if self.use_election:
             # Listing 4 lines 2-6: local flag first, then the global flag.
             if inst.is_setting_epoch.test_and_set():
@@ -415,9 +447,48 @@ class EpochManager(PrivatizedObject):
             if self.use_election:
                 self.global_epoch.is_setting_epoch.clear()
                 inst.is_setting_epoch.clear()
+        # Window-policy tick: the election winner's reclaim is a
+        # sequential root-driven point under the workload discipline, so
+        # folding batch observations into the window here is
+        # deterministic (a no-op for static windows).
+        self._rt.network.aggregator.policy_tick()
         return advanced
 
     tryReclaim = try_reclaim
+
+    def _policy_facts(self):
+        """Cost-free :class:`~repro.policy.EpochFacts` snapshot.
+
+        Pending counts walk the limbo chains with plain peeks (exact:
+        every retirement is linked before ``defer_delete`` returns); the
+        last-pin timestamp max-folds the per-token records, which only
+        exist while a pin-tracking policy is installed.  Both folds are
+        order-independent, so the snapshot is deterministic at the
+        root-driven decision points.
+        """
+        from ..policy import EpochFacts
+        from ..runtime.context import maybe_context
+
+        want_pins = self.policy.wants_pin_times
+        pending = []
+        last_pin: Optional[float] = None
+        for lid in self._instance_lids:
+            inst: _EpochManagerInstance = self.get_privatized_instance(lid)
+            n = 0
+            for lst in inst.limbo_lists:
+                node = lst._head.peek()
+                while node is not None:
+                    n += 1
+                    node = node.next
+            pending.append(n)
+            if want_pins:
+                for token in inst.allocated_tokens:
+                    t = token._last_pin_vt
+                    if t is not None and (last_pin is None or t > last_pin):
+                        last_pin = t
+        ctx = maybe_context()
+        now = ctx.clock.now if ctx is not None else 0.0
+        return EpochFacts(now=now, pending=tuple(pending), last_pin=last_pin)
 
     def _coforall_instances(self, fn) -> None:
         """Run ``fn(instance locale)`` over every scan/drain unit.
@@ -592,6 +663,9 @@ class EpochManager(PrivatizedObject):
         self._check_alive()
         freed = self._drain_and_free(list(range(self.epoch_cycle)))
         self.stats.inc("objects_reclaimed", freed)
+        # ``clear`` is a sequential quiescent point by contract — a valid
+        # window-policy tick site (no-op for static windows).
+        self._rt.network.aggregator.policy_tick()
         return freed
 
     # ------------------------------------------------------------------

@@ -68,6 +68,11 @@ class LocalEpochManager:
         #: Token compatibility shims (Token expects a manager-instance API).
         self.manager = self
         self.deferred_count = 0
+        #: Epoch policy (docs/POLICY.md).  Tokens consult
+        #: ``policy.wants_pin_times``; the single-locale manager itself
+        #: keeps the fixed cadence — policies drive the *distributed*
+        #: reclaim paths, which this helper has none of.
+        self.policy = runtime.config.resolved_policy().make_epoch_policy()
 
     # ------------------------------------------------------------------
     def _check_alive(self) -> None:

@@ -62,6 +62,8 @@ class Token:
         "_registered",
         "_free_next",
         "_alloc_next",
+        "_track_pins",
+        "_last_pin_vt",
     )
 
     def __init__(self, inst: "_EpochManagerInstance", token_id: int) -> None:
@@ -83,6 +85,13 @@ class Token:
         self._registered = True
         self._free_next: Optional["Token"] = None  # free-list link
         self._alloc_next: Optional["Token"] = None  # allocated-list link
+        #: Pin-timestamp tracking (docs/POLICY.md): only a grace-period
+        #: epoch policy reads pin times, so the per-pin store is gated on
+        #: one cached bool — every other policy pays a single branch.
+        self._track_pins = inst.manager.policy.wants_pin_times
+        #: Virtual time of this token's most recent pin (owner-written;
+        #: max-folded by the root at policy decision points).
+        self._last_pin_vt: Optional[float] = None
 
     # ------------------------------------------------------------------
     def _check_usable(self) -> None:
@@ -132,6 +141,11 @@ class Token:
         pin/unpin should bracket operations tightly.
         """
         self._check_usable()
+        if self._track_pins:
+            # Virtual-time fact for the grace epoch policy: the owning
+            # task is the only writer, so no lock is needed; the root
+            # max-folds across tokens at (post-join) decision points.
+            self._last_pin_vt = current_context().clock.now
         inst_epoch = self._inst_epoch
         my_epoch = self.local_epoch
         epoch = inst_epoch.read()

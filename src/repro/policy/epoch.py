@@ -1,0 +1,155 @@
+"""The epoch-advance policies: fixed, threshold, decay, grace.
+
+These adapt the isnad ``EpochPolicy`` / ``AdaptiveEpochCalculator``
+shapes (threshold triggers, decay curves, grace periods — SNIPPETS.md
+snippet 3) to the simulator's determinism rules: every wall-clock input
+of the originals is replaced by a virtual-time fact, and the decay policy
+is *probability-free* — it decays a threshold along the deferral streak
+instead of sampling an expiry, so repeated runs decide identically.
+
+All four are cheap Python predicates over an
+:class:`~repro.policy.base.EpochFacts` snapshot; a deferral skips the
+entire election/scan/drain pipeline and costs zero virtual time.
+"""
+
+from __future__ import annotations
+
+from .base import DECAY_CURVES, EpochFacts, EpochPolicyBase
+
+__all__ = [
+    "EPOCH_POLICIES",
+    "FixedEpochPolicy",
+    "ThresholdEpochPolicy",
+    "DecayEpochPolicy",
+    "GraceEpochPolicy",
+]
+
+
+class FixedEpochPolicy(EpochPolicyBase):
+    """Today's cadence: every reclaim attempt proceeds (the default).
+
+    ``always_advance`` short-circuits the managers before any fact is
+    computed, which is what keeps the default policy bit-identical to —
+    and exactly as fast as — the pre-policy engine.
+    """
+
+    kind = "fixed"
+    always_advance = True
+
+    def _should_advance(self, facts: EpochFacts) -> bool:
+        return True
+
+    def spec(self) -> str:
+        return "fixed"
+
+
+class ThresholdEpochPolicy(EpochPolicyBase):
+    """Advance only once a scan unit's retired count crosses ``n``.
+
+    Below the threshold the attempt is deferred outright — no election,
+    no global scan — so sparse retirement traffic stops paying the scan
+    traversals that dominate reclamation cost on degraded interconnects.
+    The trade is memory residency: limbo lists grow until the threshold
+    (or a ``clear``) releases them.
+    """
+
+    kind = "threshold"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if n < 1:
+            raise ValueError(f"threshold policy requires n >= 1, got {n}")
+        self.n = int(n)
+
+    def _should_advance(self, facts: EpochFacts) -> bool:
+        return facts.max_pending >= self.n
+
+    def spec(self) -> str:
+        return f"threshold:{self.n}"
+
+
+class DecayEpochPolicy(ThresholdEpochPolicy):
+    """A threshold that decays along the deferral streak.
+
+    The effective threshold at each decision is ``n * curve(streak /
+    horizon)`` where ``streak`` counts deferrals since the last allowed
+    advance and ``curve`` maps ``[0, 1] -> [1, 0]``:
+
+    * ``linear`` — ``1 - t``;
+    * ``exponential`` — ``2**(-4t)``, clipped to 0 at ``t >= 1``;
+    * ``step`` — ``1`` below ``t = 1``, then ``0``.
+
+    Every curve reaches 0 at the horizon, so a decay policy defers at
+    most ``horizon`` consecutive times — backlog below the threshold
+    still reclaims eventually, without any randomness (the
+    probability-free replacement for sampled expiry).
+    """
+
+    kind = "decay"
+
+    def __init__(self, n: int, curve: str = "linear", horizon: int = 8) -> None:
+        super().__init__(n)
+        if curve not in DECAY_CURVES:
+            raise ValueError(
+                f"unknown decay curve {curve!r}; expected one of"
+                f" {list(DECAY_CURVES)}"
+            )
+        if horizon < 1:
+            raise ValueError(f"decay horizon must be >= 1, got {horizon}")
+        self.curve = curve
+        self.horizon = int(horizon)
+
+    def effective_threshold(self) -> int:
+        """The decayed threshold at the current deferral streak."""
+        t = self.streak / self.horizon
+        if t >= 1.0:
+            return 0
+        if self.curve == "linear":
+            frac = 1.0 - t
+        elif self.curve == "exponential":
+            frac = 2.0 ** (-4.0 * t)
+        else:  # step
+            frac = 1.0
+        return int(self.n * frac)
+
+    def _should_advance(self, facts: EpochFacts) -> bool:
+        eff = self.effective_threshold()
+        return eff <= 0 or facts.max_pending >= eff
+
+    def spec(self) -> str:
+        if self.curve == "linear" and self.horizon == 8:
+            return f"decay:{self.n}"
+        return f"decay:{self.n}:{self.curve}:{self.horizon}"
+
+
+class GraceEpochPolicy(EpochPolicyBase):
+    """Hold the epoch open for a virtual grace period after the last pin.
+
+    Advance only when ``facts.now - facts.last_pin >= grace`` — a burst
+    of recent protected regions holds reclamation off until the structure
+    has been quiet for ``grace`` virtual seconds.  ``wants_pin_times``
+    makes guards record their pin timestamps (one conditional store per
+    pin, only while a grace policy is installed); with no pin ever
+    recorded the policy advances immediately.
+    """
+
+    kind = "grace"
+    wants_pin_times = True
+
+    def __init__(self, grace: float) -> None:
+        super().__init__()
+        if not (grace > 0.0):
+            raise ValueError(f"grace period must be > 0, got {grace}")
+        self.grace = float(grace)
+
+    def _should_advance(self, facts: EpochFacts) -> bool:
+        if facts.last_pin is None:
+            return True
+        return facts.now - facts.last_pin >= self.grace
+
+    def spec(self) -> str:
+        return f"grace:{self.grace:g}"
+
+
+#: Registry of epoch-policy kinds (the valid names in axis errors).
+EPOCH_POLICIES = ("fixed", "threshold", "decay", "grace")

@@ -1,0 +1,265 @@
+"""Policy spec strings: parse / validate / normalize / round-trip.
+
+One spec names both policy halves, joined by ``+``::
+
+    "fixed"                          # defaults: fixed epochs, static window
+    "threshold:64"                   # epoch half only (window stays static)
+    "decay:64:exponential:8"         # decay curve and horizon knobs
+    "grace:0.0001"                   # virtual-seconds grace period
+    "adaptive:4..64"                 # window half only (epochs stay fixed)
+    "threshold:64+adaptive:4..64"    # both halves
+
+Halves may appear in either order, each at most once.  ``parse_policy``
+is the one validation surface — :class:`~repro.runtime.config.
+RuntimeConfig`, the scenario specs, and the ``--policy`` CLI flag all
+route through it — and :meth:`PolicySpec.spec` returns the canonical
+string that parses back to an equal spec (the machine-axis round-trip
+contract, shared with ``parse_topology`` / ``parse_aggregation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from .epoch import (
+    EPOCH_POLICIES,
+    DecayEpochPolicy,
+    EpochPolicyBase,
+    FixedEpochPolicy,
+    GraceEpochPolicy,
+    ThresholdEpochPolicy,
+)
+from .window import (
+    WINDOW_POLICIES,
+    AdaptiveWindowPolicy,
+    StaticWindowPolicy,
+    WindowPolicyBase,
+)
+
+__all__ = ["PolicySpec", "parse_policy"]
+
+#: Default knobs for bare policy kinds (``"threshold"`` == ``"threshold:64"``).
+_DEFAULT_THRESHOLD = 64
+_DEFAULT_GRACE = 1e-4
+_DEFAULT_HORIZON = 8
+_DEFAULT_ADAPTIVE = (2, 64)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """The validated, normalized policy axis of one machine.
+
+    Immutable and hashable like :class:`~repro.comm.aggregation.
+    AggregationSpec`; the stateful policy *instances* are minted fresh
+    per runtime by :meth:`make_epoch_policy` / :meth:`make_window_policy`
+    so no decision state leaks across runs.
+    """
+
+    epoch_kind: str = "fixed"
+    #: threshold/decay: the retired-count threshold N; grace: the grace
+    #: period in virtual seconds; fixed: None.
+    epoch_param: Optional[float] = None
+    #: decay only: curve name and deferral horizon.
+    decay_curve: str = "linear"
+    decay_horizon: int = _DEFAULT_HORIZON
+    window_kind: str = "static"
+    window_lo: int = field(default=_DEFAULT_ADAPTIVE[0])
+    window_hi: int = field(default=_DEFAULT_ADAPTIVE[1])
+
+    def __post_init__(self) -> None:
+        if self.epoch_kind not in EPOCH_POLICIES:
+            raise ValueError(
+                f"unknown epoch policy {self.epoch_kind!r}; expected one of"
+                f" {list(EPOCH_POLICIES)}"
+            )
+        if self.window_kind not in WINDOW_POLICIES:
+            raise ValueError(
+                f"unknown window policy {self.window_kind!r}; expected one"
+                f" of {list(WINDOW_POLICIES)}"
+            )
+        # Validate knobs eagerly by minting throwaway instances: the
+        # constructors own the bounds checks, so spec validation and
+        # instance validation can never drift apart.
+        self.make_epoch_policy()
+        self.make_window_policy(1)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """True for the bit-identical default (fixed epochs, static window)."""
+        return self.epoch_kind == "fixed" and self.window_kind == "static"
+
+    def spec(self) -> str:
+        """The canonical spec string (parses back to an equal spec)."""
+        parts = []
+        if self.epoch_kind == "threshold":
+            parts.append(f"threshold:{int(self.epoch_param)}")
+        elif self.epoch_kind == "decay":
+            if self.decay_curve == "linear" and self.decay_horizon == _DEFAULT_HORIZON:
+                parts.append(f"decay:{int(self.epoch_param)}")
+            else:
+                parts.append(
+                    f"decay:{int(self.epoch_param)}:{self.decay_curve}"
+                    f":{self.decay_horizon}"
+                )
+        elif self.epoch_kind == "grace":
+            parts.append(f"grace:{self.epoch_param:g}")
+        if self.window_kind == "adaptive":
+            parts.append(f"adaptive:{self.window_lo}..{self.window_hi}")
+        return "+".join(parts) if parts else "fixed"
+
+    # ------------------------------------------------------------------
+    # instance factories
+    # ------------------------------------------------------------------
+    def make_epoch_policy(self) -> EpochPolicyBase:
+        """Mint a fresh (stateful) epoch-advance policy instance."""
+        kind = self.epoch_kind
+        if kind == "fixed":
+            return FixedEpochPolicy()
+        if kind == "threshold":
+            return ThresholdEpochPolicy(int(self.epoch_param))
+        if kind == "decay":
+            return DecayEpochPolicy(
+                int(self.epoch_param), self.decay_curve, self.decay_horizon
+            )
+        return GraceEpochPolicy(float(self.epoch_param))
+
+    def make_window_policy(self, window: int) -> WindowPolicyBase:
+        """Mint a fresh window policy seeded from the aggregation axis."""
+        if self.window_kind == "static":
+            return StaticWindowPolicy(window)
+        return AdaptiveWindowPolicy(window, self.window_lo, self.window_hi)
+
+
+def _parse_epoch_half(text: str, original: Any) -> dict:
+    """Parse one ``kind[:knob...]`` epoch half into PolicySpec kwargs."""
+    parts = text.split(":")
+    kind = parts[0]
+    knobs = parts[1:]
+    try:
+        if kind == "fixed":
+            if knobs:
+                raise ValueError("'fixed' takes no parameters")
+            return {"epoch_kind": "fixed"}
+        if kind == "threshold":
+            if len(knobs) > 1:
+                raise ValueError("'threshold' takes at most one parameter")
+            n = int(knobs[0]) if knobs else _DEFAULT_THRESHOLD
+            return {"epoch_kind": "threshold", "epoch_param": n}
+        if kind == "decay":
+            if len(knobs) > 3:
+                raise ValueError(
+                    "'decay' takes at most three parameters (n, curve,"
+                    " horizon)"
+                )
+            n = int(knobs[0]) if knobs else _DEFAULT_THRESHOLD
+            curve = knobs[1] if len(knobs) > 1 else "linear"
+            horizon = int(knobs[2]) if len(knobs) > 2 else _DEFAULT_HORIZON
+            return {
+                "epoch_kind": "decay",
+                "epoch_param": n,
+                "decay_curve": curve,
+                "decay_horizon": horizon,
+            }
+        # grace
+        if len(knobs) > 1:
+            raise ValueError("'grace' takes at most one parameter")
+        g = float(knobs[0]) if knobs else _DEFAULT_GRACE
+        return {"epoch_kind": "grace", "epoch_param": g}
+    except ValueError as exc:
+        raise ValueError(
+            f"bad policy spec {original!r}: {exc}"
+        ) from None
+
+
+def _parse_window_half(text: str, original: Any) -> dict:
+    """Parse one ``static`` / ``adaptive:lo..hi`` window half."""
+    parts = text.split(":")
+    kind = parts[0]
+    knobs = parts[1:]
+    try:
+        if kind == "static":
+            if knobs:
+                raise ValueError("'static' takes no parameters")
+            return {"window_kind": "static"}
+        # adaptive
+        if len(knobs) > 1:
+            raise ValueError("'adaptive' takes at most one lo..hi range")
+        if knobs:
+            lo_text, sep, hi_text = knobs[0].partition("..")
+            if not sep:
+                raise ValueError(
+                    "'adaptive' range must be 'lo..hi' (e.g. adaptive:4..64)"
+                )
+            lo, hi = int(lo_text), int(hi_text)
+        else:
+            lo, hi = _DEFAULT_ADAPTIVE
+        return {"window_kind": "adaptive", "window_lo": lo, "window_hi": hi}
+    except ValueError as exc:
+        raise ValueError(
+            f"bad policy spec {original!r}: {exc}"
+        ) from None
+
+
+def parse_policy(spec: Any) -> PolicySpec:
+    """Build a :class:`PolicySpec` from a declarative spec.
+
+    Accepts a :class:`PolicySpec` (passed through), ``None`` /
+    ``"default"`` (the fixed/static default), a spec string (see the
+    module docstring), or a mapping with ``epoch`` / ``window`` keys each
+    holding a half-spec string.  Anything else raises ``ValueError``
+    listing the valid policy names — the shared machine-axis error idiom.
+    """
+    if isinstance(spec, PolicySpec):
+        return spec
+    if spec is None:
+        return PolicySpec()
+    if isinstance(spec, Mapping):
+        doc = dict(spec)
+        epoch = doc.pop("epoch", None)
+        window = doc.pop("window", None)
+        if doc:
+            raise ValueError(
+                f"unknown policy key(s) {sorted(doc)}; accepted keys are"
+                f" 'epoch' and 'window'"
+            )
+        kwargs: dict = {}
+        if epoch is not None:
+            kwargs.update(_parse_epoch_half(str(epoch).strip().lower(), spec))
+        if window is not None:
+            kwargs.update(_parse_window_half(str(window).strip().lower(), spec))
+        return PolicySpec(**kwargs)
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"policy spec must be a string, mapping, or PolicySpec, got"
+            f" {spec!r}"
+        )
+    text = spec.strip().lower()
+    if text in ("", "default"):
+        return PolicySpec()
+    kwargs = {}
+    seen_epoch = seen_window = False
+    for half in text.split("+"):
+        half = half.strip()
+        kind = half.split(":", 1)[0]
+        if kind in EPOCH_POLICIES:
+            if seen_epoch:
+                raise ValueError(
+                    f"bad policy spec {spec!r}: more than one epoch half"
+                )
+            seen_epoch = True
+            kwargs.update(_parse_epoch_half(half, spec))
+        elif kind in WINDOW_POLICIES:
+            if seen_window:
+                raise ValueError(
+                    f"bad policy spec {spec!r}: more than one window half"
+                )
+            seen_window = True
+            kwargs.update(_parse_window_half(half, spec))
+        else:
+            raise ValueError(
+                f"unknown policy {kind!r}; expected one of"
+                f" {list(EPOCH_POLICIES + WINDOW_POLICIES)}"
+            )
+    return PolicySpec(**kwargs)

@@ -131,6 +131,10 @@ class EBRReclaimer:
             pending=self.pending_count() if not self.manager._destroyed else 0,
             peak_pending=self._peak_pending,
             reclaims=out["advances"],
+            # Policy diagnostics (docs/POLICY.md), matching ReclaimerBase:
+            # the manager's stats already carry ``policy_deferrals``.
+            policy=self.manager.policy.spec(),
+            window=self._rt.network.aggregator.window,
         )
         return out
 

@@ -232,9 +232,19 @@ class HazardPointerReclaimer(ReclaimerBase):
     def try_reclaim(self) -> bool:
         """Scan on behalf of *every* guard (root / phase-boundary use)."""
         current_context()  # protocol parity: requires a task context
-        return self._scan(
+        # Epoch-policy gate (docs/POLICY.md): a deferral skips the scan —
+        # and with it every remote hazard read — entirely.  Guard-local
+        # threshold scans (``_after_retire``) are NOT gated: they are HP's
+        # bounded-garbage guarantee, not a cadence choice.
+        if self._policy_defers():
+            self._reclaim_attempts += 1
+            self._policy_tick()
+            return False
+        freed = self._scan(
             self._registered_guards(), global_sample=True  # type: ignore[arg-type]
-        ) > 0
+        )
+        self._policy_tick()
+        return freed > 0
 
     tryReclaim = try_reclaim
 

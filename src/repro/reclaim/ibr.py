@@ -84,6 +84,7 @@ class _IBRGuard(GuardBase):
             if current == era:
                 break
             era = current
+        self._note_pin()
         self._pinned = True
 
     def unpin(self) -> None:
@@ -152,8 +153,14 @@ class IntervalReclaimer(ReclaimerBase):
         ctx = current_context()
         self._reclaim_attempts += 1
         self._note_pending()
+        # Epoch-policy gate (docs/POLICY.md): a deferral leaves the era
+        # untouched — no CAS, no cache refresh, no birth scan.
+        if self._policy_defers():
+            self._policy_tick()
+            return False
         era = self._era.read()
         if not self._era.compare_and_swap(era, era + 1):
+            # CAS loser: another racer owns this advance (and its tick).
             return False
         new_era = era + 1
         guards = self._registered_guards()
@@ -191,6 +198,7 @@ class IntervalReclaimer(ReclaimerBase):
         freed = self._drain_retired(guards, lambda entry: entry[1] >= horizon)
         if freed:
             self._reclaims += 1
+        self._policy_tick()
         return True
 
     tryReclaim = try_reclaim

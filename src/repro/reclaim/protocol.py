@@ -95,6 +95,7 @@ class GuardBase:
         "_pinned",
         "_retired",
         "_retired_lock",
+        "_last_pin_vt",
     )
 
     def __init__(self, reclaimer: "ReclaimerBase", locale_id: int, guard_id: int) -> None:
@@ -112,6 +113,11 @@ class GuardBase:
         #: module docstring's discipline notes).
         self._retired: List[Tuple[GlobalAddress, int]] = []
         self._retired_lock = threading.Lock()
+        #: Virtual time of the most recent pin (docs/POLICY.md): recorded
+        #: only while a pin-tracking (grace) policy is installed, written
+        #: by the owning task only, max-folded by the root at decision
+        #: points.
+        self._last_pin_vt: "float | None" = None
 
     # ------------------------------------------------------------------
     def _check_usable(self) -> None:
@@ -146,9 +152,21 @@ class GuardBase:
     # ------------------------------------------------------------------
     # the protected-region protocol
     # ------------------------------------------------------------------
+    def _note_pin(self) -> None:
+        """Record the pin's virtual timestamp when a policy wants it.
+
+        One cached-bool branch per pin for every non-tracking policy;
+        the store itself is thread-private (the owning task is the only
+        writer) and costs zero virtual time — it is a *fact*, not an
+        operation.
+        """
+        if self._rec._track_pins:
+            self._last_pin_vt = current_context().clock.now
+
     def pin(self) -> None:
         """Enter a protected region (scheme-specific announcement cost)."""
         self._check_usable()
+        self._note_pin()
         self._pinned = True
 
     def unpin(self) -> None:
@@ -244,10 +262,22 @@ class ReclaimerBase:
     #: Scheme name as accepted by :func:`make_reclaimer` / config.
     scheme = "base"
 
-    def __init__(self, runtime: "Runtime") -> None:
+    def __init__(self, runtime: "Runtime", *, policy: Any = None) -> None:
+        from ..policy import parse_policy
+
         self._rt = runtime
         self._costs = runtime.config.costs
         self._destroyed = False
+        # The epoch-advance policy (docs/POLICY.md): gates the root-driven
+        # ``try_reclaim`` of every list-based scheme on virtual-time
+        # facts.  ``None`` resolves the runtime's configured policy axis.
+        policy_spec = (
+            runtime.config.resolved_policy()
+            if policy is None
+            else parse_policy(policy)
+        )
+        self.policy = policy_spec.make_epoch_policy()
+        self._track_pins = self.policy.wants_pin_times
         self._guards: List[GuardBase] = []
         self._registry_lock = threading.Lock()
         self._guard_seq = 0
@@ -316,6 +346,57 @@ class ReclaimerBase:
 
     tryReclaim = try_reclaim
 
+    # ------------------------------------------------------------------
+    # the epoch-advance policy gate (docs/POLICY.md)
+    # ------------------------------------------------------------------
+    def _policy_defers(self) -> bool:
+        """True when the policy defers this reclaim attempt (cost-free).
+
+        The default ``fixed`` policy short-circuits without computing
+        facts, so the legacy paths stay bit-identical.  Schemes call this
+        at the top of their root-driven ``try_reclaim`` — a deferral
+        skips the whole scan/drain pipeline and charges nothing.
+        """
+        pol = self.policy
+        if pol.always_advance:
+            return False
+        return not pol.decide(self._policy_facts())
+
+    def _policy_facts(self):
+        """Cost-free :class:`~repro.policy.EpochFacts` snapshot.
+
+        Per-locale pending counts fold the registered guards' buffer
+        lengths (exact at root decision points — workers are joined);
+        orphaned retirements append one trailing entry.  The last-pin
+        timestamp max-folds the per-guard records, which only exist while
+        a pin-tracking policy is installed.
+        """
+        from ..policy import EpochFacts
+
+        per_locale: Dict[int, int] = {}
+        last_pin: "float | None" = None
+        want_pins = self.policy.wants_pin_times
+        for guard in self._registered_guards():
+            per_locale[guard.locale_id] = per_locale.get(
+                guard.locale_id, 0
+            ) + len(guard._retired)
+            if want_pins:
+                t = guard._last_pin_vt
+                if t is not None and (last_pin is None or t > last_pin):
+                    last_pin = t
+        pending = [per_locale[lid] for lid in sorted(per_locale)]
+        with self._orphan_lock:
+            orphans = len(self._orphans)
+        if orphans:
+            pending.append(orphans)
+        ctx = maybe_context()
+        now = ctx.clock.now if ctx is not None else 0.0
+        return EpochFacts(now=now, pending=tuple(pending), last_pin=last_pin)
+
+    def _policy_tick(self) -> None:
+        """Window-policy tick at this sequential reclaim point."""
+        self._rt.network.aggregator.policy_tick()
+
     def quiesce_check(self) -> None:
         """Hook before clear/destroy; subclasses may sanity-check state."""
 
@@ -363,7 +444,11 @@ class ReclaimerBase:
         """
         self._check_alive()
         self._note_pending()
-        return self._drain_retired(self._registered_guards(), None)
+        freed = self._drain_retired(self._registered_guards(), None)
+        # ``clear`` is a sequential quiescent point by contract — a valid
+        # window-policy tick site (no-op for static windows).
+        self._policy_tick()
+        return freed
 
     def destroy(self) -> None:
         """Reclaim all remaining objects and retire the manager."""
@@ -456,6 +541,11 @@ class ReclaimerBase:
             "reclaims": self._reclaims,
             "scan_batches": self._scan_batches,
             "uplink_crossings": self._uplink_crossings,
+            # Policy diagnostics (docs/POLICY.md): the epoch half's spec
+            # and deferral count, and the window policy's live window.
+            "policy": self.policy.spec(),
+            "policy_deferrals": self.policy.deferrals,
+            "window": self._rt.network.aggregator.window,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -141,6 +141,12 @@ class QSBRReclaimer(ReclaimerBase):
         ctx = current_context()
         self._reclaim_attempts += 1
         self._note_pending()
+        # Epoch-policy gate (docs/POLICY.md): a deferral skips the
+        # announcement scan and leaves the interval unchanged, so guards'
+        # quiescence marks stay comparable on the next attempt.
+        if self._policy_defers():
+            self._policy_tick()
+            return False
         min_seen = self._interval
         guards = self._registered_guards()
         aggregator = self._rt.network.aggregator
@@ -164,6 +170,7 @@ class QSBRReclaimer(ReclaimerBase):
         self._interval += 1
         if freed:
             self._reclaims += 1
+        self._policy_tick()
         return freed > 0
 
     tryReclaim = try_reclaim

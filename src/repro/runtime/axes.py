@@ -1,0 +1,189 @@
+"""One spec layer for every machine axis: parse, validate, normalize.
+
+Before this module each machine axis had its own ad-hoc plumbing —
+``reclaimer`` was a bare string checked against a tuple, ``topology``
+went through :func:`~repro.comm.topology.parse_topology`,
+``aggregation`` through :func:`~repro.comm.aggregation.
+parse_aggregation`, ``engine`` was another bare string, and the policy
+axis would have been a fifth shape.  Here they share one contract:
+
+* every axis has a **parser** (accepts the declarative spec forms,
+  raises ``ValueError`` listing the valid names on anything else),
+* a **spec round-trip** (``axis_spec(name, parsed)`` returns the
+  canonical spec that re-parses to an equal value), and
+* one registry (:data:`MACHINE_AXES`) driving
+  :class:`~repro.runtime.config.RuntimeConfig` validation, the scenario
+  ``TopologySpec`` fields, and the CLI flags — so a new axis is one
+  registry entry, not four copies of the idiom.
+
+:class:`MachineAxes` bundles the parsed values of all five axes for one
+machine; ``RuntimeConfig`` builds one eagerly in ``__post_init__`` and
+serves ``resolved_topology`` / ``resolved_aggregation`` /
+``resolved_policy`` straight from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..comm.aggregation import AggregationSpec, parse_aggregation
+from ..comm.topology import Topology, parse_topology
+from ..policy import PolicySpec, parse_policy
+
+__all__ = [
+    "MachineAxis",
+    "MachineAxes",
+    "MACHINE_AXES",
+    "RECLAIMER_SCHEMES",
+    "ENGINES",
+    "axis_names",
+    "parse_axis",
+    "axis_spec",
+]
+
+#: Canonical names of the pluggable memory-reclamation schemes (see
+#: :mod:`repro.reclaim`).  Declared here — not in ``repro.reclaim`` — so
+#: that config validation does not import the reclaimer implementations
+#: (which themselves build on the runtime).
+RECLAIMER_SCHEMES = ("ebr", "hp", "qsbr", "ibr")
+
+#: Workload execution engines (see :mod:`repro.engine` and docs/ENGINE.md):
+#: ``"interpreted"`` charges every operation as it happens on real worker
+#: threads; ``"compiled"`` lets workloads lower fixed op streams into
+#: columnar batches replayed serially.  Bit-identical by contract — the
+#: axis trades wall-clock only, never virtual results.
+ENGINES = ("interpreted", "compiled")
+
+
+@dataclass(frozen=True)
+class MachineAxis:
+    """One machine axis: name, default, parser, canonical-spec projector."""
+
+    name: str
+    default: Any
+    #: ``parse(value)`` — or ``parse(value, num_locales)`` when
+    #: :attr:`needs_locales` — validates and returns the resolved value.
+    parse: Callable[..., Any]
+    #: ``spec(parsed)`` returns the canonical spec (round-trip contract).
+    spec: Callable[[Any], Any]
+    #: True when parsing needs the machine's locale count (topology).
+    needs_locales: bool = False
+
+
+def _choice_parser(name: str, choices: "tuple[str, ...]") -> Callable[[Any], str]:
+    """Parser for enum-like axes: the shared unknown-name error idiom."""
+
+    def parse(value: Any) -> str:
+        if value not in choices:
+            raise ValueError(
+                f"unknown {name} {value!r}; expected one of {list(choices)}"
+            )
+        return value
+
+    return parse
+
+
+#: The axis registry, in canonical (report/CLI) order.
+MACHINE_AXES: Dict[str, MachineAxis] = {
+    "reclaimer": MachineAxis(
+        name="reclaimer",
+        default="ebr",
+        parse=_choice_parser("reclaimer", RECLAIMER_SCHEMES),
+        spec=lambda v: v,
+    ),
+    "topology": MachineAxis(
+        name="topology",
+        default="flat",
+        parse=lambda value, num_locales: parse_topology(value, num_locales),
+        spec=lambda topo: topo.spec(),
+        needs_locales=True,
+    ),
+    "aggregation": MachineAxis(
+        name="aggregation",
+        default=1,
+        parse=parse_aggregation,
+        spec=lambda agg: agg.spec(),
+    ),
+    "engine": MachineAxis(
+        name="engine",
+        default="interpreted",
+        parse=_choice_parser("engine", ENGINES),
+        spec=lambda v: v,
+    ),
+    "policy": MachineAxis(
+        name="policy",
+        default="fixed",
+        parse=parse_policy,
+        spec=lambda pol: pol.spec(),
+    ),
+}
+
+
+def axis_names() -> "tuple[str, ...]":
+    """The machine-axis names in canonical order."""
+    return tuple(MACHINE_AXES)
+
+
+def parse_axis(name: str, value: Any, *, num_locales: Optional[int] = None) -> Any:
+    """Parse/validate one axis value by axis name.
+
+    The one entry point config and scenario validation share; an unknown
+    axis name gets the same list-the-valid-names error shape as an
+    unknown axis *value*.
+    """
+    try:
+        axis = MACHINE_AXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine axis {name!r}; expected one of"
+            f" {list(MACHINE_AXES)}"
+        ) from None
+    if axis.needs_locales:
+        if num_locales is None:
+            raise ValueError(f"axis {name!r} requires num_locales")
+        return axis.parse(value, num_locales)
+    return axis.parse(value)
+
+
+def axis_spec(name: str, parsed: Any) -> Any:
+    """The canonical spec of a parsed axis value (round-trips by contract)."""
+    return MACHINE_AXES[name].spec(parsed)
+
+
+@dataclass(frozen=True, eq=False)
+class MachineAxes:
+    """The parsed values of every machine axis for one machine."""
+
+    reclaimer: str
+    topology: Topology
+    aggregation: AggregationSpec
+    engine: str
+    policy: PolicySpec
+
+    @classmethod
+    def parse(
+        cls,
+        *,
+        num_locales: int,
+        reclaimer: Any = "ebr",
+        topology: Any = "flat",
+        aggregation: Any = 1,
+        engine: Any = "interpreted",
+        policy: Any = "fixed",
+    ) -> "MachineAxes":
+        """Parse and validate all five axes in one shot."""
+        return cls(
+            reclaimer=parse_axis("reclaimer", reclaimer),
+            topology=parse_axis("topology", topology, num_locales=num_locales),
+            aggregation=parse_axis("aggregation", aggregation),
+            engine=parse_axis("engine", engine),
+            policy=parse_axis("policy", policy),
+        )
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical spec per axis (each re-parses to an equal value)."""
+        return {
+            name: axis_spec(name, getattr(self, name))
+            for name in MACHINE_AXES
+        }

@@ -22,25 +22,14 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
-from ..comm.aggregation import AggregationSpec, parse_aggregation
+from ..comm.aggregation import AggregationSpec
 from ..comm.costs import CostModel, DEFAULT_COSTS
-from ..comm.topology import Topology, parse_topology
+from ..comm.topology import Topology
 from ..errors import LocaleError
+from ..policy import PolicySpec
+from .axes import ENGINES, RECLAIMER_SCHEMES, MachineAxes
 
 __all__ = ["NetworkType", "RuntimeConfig", "RECLAIMER_SCHEMES", "ENGINES"]
-
-#: Canonical names of the pluggable memory-reclamation schemes (see
-#: :mod:`repro.reclaim`).  Declared here — not in ``repro.reclaim`` — so
-#: that config validation does not import the reclaimer implementations
-#: (which themselves build on the runtime).
-RECLAIMER_SCHEMES = ("ebr", "hp", "qsbr", "ibr")
-
-#: Workload execution engines (see :mod:`repro.engine` and docs/ENGINE.md):
-#: ``"interpreted"`` charges every operation as it happens on real worker
-#: threads; ``"compiled"`` lets workloads lower fixed op streams into
-#: columnar batches replayed serially.  Bit-identical by contract — the
-#: axis trades wall-clock only, never virtual results.
-ENGINES = ("interpreted", "compiled")
 
 
 class NetworkType(enum.Enum):
@@ -135,6 +124,17 @@ class RuntimeConfig:
         results are bit-identical either way — the knob trades wall-clock
         only.  Generators without a compiled lowering silently fall back
         to the interpreter.
+    policy:
+        Virtual-time policy axis (see :mod:`repro.policy` and
+        docs/POLICY.md): one spec string naming an epoch-advance policy
+        half (``"fixed"`` — the default, today's cadence —
+        ``"threshold:N"``, ``"decay:N[:curve[:horizon]]"``,
+        ``"grace:T"``) and/or an aggregation-window policy half
+        (``"static"`` — the default — ``"adaptive:lo..hi"``) joined by
+        ``+``.  The default ``"fixed"`` (fixed epochs, static window) is
+        bit-identical to the pre-policy engine.  Accepts a spec string,
+        a ``{"epoch": ..., "window": ...}`` mapping, or a
+        :class:`~repro.policy.PolicySpec`.
     """
 
     num_locales: int = 4
@@ -149,6 +149,7 @@ class RuntimeConfig:
     topology: Any = "flat"
     aggregation: Any = 1
     engine: str = "interpreted"
+    policy: Any = "fixed"
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -168,46 +169,49 @@ class RuntimeConfig:
                 f"heap_alignment must be a power of two >= 2, got"
                 f" {self.heap_alignment}"
             )
-        if self.reclaimer not in RECLAIMER_SCHEMES:
-            raise ValueError(
-                f"unknown reclaimer {self.reclaimer!r}; expected one of"
-                f" {list(RECLAIMER_SCHEMES)}"
-            )
-        if self.engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {self.engine!r}; expected one of"
-                f" {list(ENGINES)}"
-            )
         # Normalize string network names passed positionally.
         object.__setattr__(self, "network", NetworkType.parse(self.network))
-        # Resolve (and thereby validate) the topology spec eagerly; the
-        # instance is cached outside the dataclass fields so replace()
+        # Resolve (and thereby validate) every machine axis eagerly
+        # through the shared spec layer (:mod:`repro.runtime.axes`); the
+        # bundle is cached outside the dataclass fields so replace()
         # re-resolves and frozen semantics are preserved.
         object.__setattr__(
             self,
-            "_topology_obj",
-            parse_topology(self.topology, self.num_locales),
-        )
-        # The aggregation window follows the same eager-validation shape.
-        object.__setattr__(
-            self, "_aggregation_obj", parse_aggregation(self.aggregation)
+            "_axes",
+            MachineAxes.parse(
+                num_locales=self.num_locales,
+                reclaimer=self.reclaimer,
+                topology=self.topology,
+                aggregation=self.aggregation,
+                engine=self.engine,
+                policy=self.policy,
+            ),
         )
 
     def with_(self, **overrides) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
 
+    def resolved_axes(self) -> MachineAxes:
+        """The parsed machine-axis bundle (see :mod:`repro.runtime.axes`)."""
+        return self._axes
+
     def resolved_topology(self) -> Topology:
         """The :class:`~repro.comm.topology.Topology` instance this config
         describes (``topology`` may be a string spec, mapping, or object;
         see :func:`repro.comm.topology.parse_topology`)."""
-        return self._topology_obj
+        return self._axes.topology
 
     def resolved_aggregation(self) -> AggregationSpec:
         """The validated :class:`~repro.comm.aggregation.AggregationSpec`
         this config describes (``aggregation`` may be an int, string,
         mapping, or spec object)."""
-        return self._aggregation_obj
+        return self._axes.aggregation
+
+    def resolved_policy(self) -> PolicySpec:
+        """The validated :class:`~repro.policy.PolicySpec` this config
+        describes (``policy`` may be a spec string, mapping, or object)."""
+        return self._axes.policy
 
     @classmethod
     def from_topology(
@@ -225,6 +229,7 @@ class RuntimeConfig:
         topology: Any = "flat",
         aggregation: Any = 1,
         engine: str = "interpreted",
+        policy: Any = "fixed",
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -253,6 +258,7 @@ class RuntimeConfig:
             topology=topology,
             aggregation=aggregation,
             engine=engine,
+            policy=policy,
         )
 
     @property

@@ -1,0 +1,39 @@
+"""Keyword-rename shims for the structure APIs.
+
+The structures historically named their guard parameter ``token=`` (the
+EBR-era name) and the hash table's reclaimer parameter ``manager=``; the
+scheme-generic names are ``guard=`` and ``reclaimer=`` (any guard from
+:mod:`repro.reclaim` works, not just an EBR token).  The old keywords
+keep working for one deprecation cycle through :func:`_deprecated_alias`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+__all__ = ["_deprecated_alias"]
+
+
+def _deprecated_alias(new_name: str, old_name: str, new_value: Any, old_value: Any) -> Any:
+    """Merge a renamed keyword with its deprecated alias.
+
+    Returns the effective value: ``new_value`` when only the new keyword
+    was used, ``old_value`` (with a :class:`DeprecationWarning`) when only
+    the old one was.  Passing both is an error — the caller's intent is
+    ambiguous.  ``stacklevel=3`` points the warning at the caller of the
+    public method, not at the method or this helper.
+    """
+    if old_value is None:
+        return new_value
+    if new_value is not None:
+        raise TypeError(
+            f"got values for both {new_name!r} and its deprecated alias"
+            f" {old_name!r}; pass only {new_name!r}"
+        )
+    warnings.warn(
+        f"the {old_name!r} keyword is deprecated; use {new_name!r}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return old_value

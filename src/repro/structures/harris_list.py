@@ -30,6 +30,7 @@ from ..atomics.integer import AtomicUInt64
 from ..core.token import Token
 from ..memory.address import NIL, GlobalAddress, is_nil
 from ..memory.compression import compress, decompress
+from ._compat import _deprecated_alias
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -65,7 +66,7 @@ class LockFreeOrderedList:
 
     ``insert`` / ``remove`` / ``contains`` / ``get`` are lock-free;
     traversals help unlink logically-deleted nodes they pass.  Reclamation
-    of unlinked nodes goes through the optional per-operation ``token``.
+    of unlinked nodes goes through the optional per-operation ``guard``.
     """
 
     def __init__(self, runtime: "Runtime", *, locale: int = 0, name: str = "list") -> None:
@@ -82,17 +83,17 @@ class LockFreeOrderedList:
     # internal search (Michael's find, with helping)
     # ------------------------------------------------------------------
     def _find(
-        self, key: Any, token: Optional[Token]
+        self, key: Any, guard: Optional[Token]
     ) -> Tuple[AtomicUInt64, GlobalAddress, GlobalAddress, Optional["ListNode"]]:
         """Locate the insertion window for ``key``.
 
         Returns ``(prev_next_cell, cur_addr, next_addr, cur_node)`` where
         ``cur`` is the first unmarked node with ``node.key >= key`` (or nil
         at end of list).  Marked nodes encountered on the way are unlinked
-        (helping), and deferred through ``token`` when given.
+        (helping), and deferred through ``guard`` when given.
         """
         rt = self._rt
-        protecting = token is not None and token.needs_protect
+        protecting = guard is not None and guard.needs_protect
         while True:  # restart label
             prev_cell = self._head_node.next
             cur_word = prev_cell.read()
@@ -107,7 +108,7 @@ class LockFreeOrderedList:
                     # below — a marked node replaced by helping reuses the
                     # same slot, so prev's hazard is never clobbered).
                     # Re-validate the link before dereferencing.
-                    token.protect(cur_addr, depth & 1)
+                    guard.protect(cur_addr, depth & 1)
                     if prev_cell.read() != _pack(cur_addr, False):
                         restart = True
                         break
@@ -121,8 +122,8 @@ class LockFreeOrderedList:
                     ):
                         restart = True
                         break
-                    if token is not None:
-                        token.defer_delete(cur_addr)
+                    if guard is not None:
+                        guard.defer_delete(cur_addr)
                     # prev is unchanged: the successor takes over cur's
                     # hazard slot on the next iteration (same parity).
                     cur_addr = next_addr
@@ -139,11 +140,19 @@ class LockFreeOrderedList:
     # ------------------------------------------------------------------
     # public operations
     # ------------------------------------------------------------------
-    def insert(self, key: Any, value: Any = None, token: Optional[Token] = None) -> bool:
+    def insert(
+        self,
+        key: Any,
+        value: Any = None,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Insert ``key`` (with ``value``); False if already present."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         rt = self._rt
         while True:
-            prev_cell, cur_addr, _, cur_node = self._find(key, token)
+            prev_cell, cur_addr, _, cur_node = self._find(key, guard)
             if cur_node is not None and cur_node.key == key:
                 return False
             here = rt.here()
@@ -157,10 +166,17 @@ class LockFreeOrderedList:
             # Window moved: discard our unpublished node and retry.
             rt.free(addr)
 
-    def remove(self, key: Any, token: Optional[Token] = None) -> bool:
+    def remove(
+        self,
+        key: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Logically then physically remove ``key``; False if absent."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         while True:
-            prev_cell, cur_addr, next_addr, cur_node = self._find(key, token)
+            prev_cell, cur_addr, next_addr, cur_node = self._find(key, guard)
             if cur_node is None or cur_node.key != key:
                 return False
             # Phase 1: plant the mark (the linearization point).
@@ -172,22 +188,36 @@ class LockFreeOrderedList:
             if prev_cell.compare_and_swap(
                 _pack(cur_addr, False), _pack(next_addr, False)
             ):
-                if token is not None:
-                    token.defer_delete(cur_addr)
+                if guard is not None:
+                    guard.defer_delete(cur_addr)
             return True
 
-    def contains(self, key: Any, token: Optional[Token] = None) -> bool:
+    def contains(
+        self,
+        key: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Wait-free-ish read-only membership test (no helping, no CAS).
 
-        ``token`` is only needed under hazard-pointer reclamation, where
+        ``guard`` is only needed under hazard-pointer reclamation, where
         read-only traversals must protect the nodes they dereference;
         region-based schemes (EBR/QSBR/IBR) cover the traversal through
-        the caller's pinned guard.
+        the caller's pinned guard.  ``token=`` is the deprecated alias.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         sentinel = object()
-        return self.get(key, sentinel, token=token) is not sentinel
+        return self.get(key, sentinel, guard=guard) is not sentinel
 
-    def get(self, key: Any, default: Any = None, token: Optional[Token] = None) -> Any:
+    def get(
+        self,
+        key: Any,
+        default: Any = None,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Return the value stored under ``key`` (read-only traversal).
 
         Under a hazard-pointer guard the lookup goes through
@@ -197,8 +227,9 @@ class LockFreeOrderedList:
         address-only check would admit freed successors), so — exactly as
         in Michael's algorithm — HP readers help unlink what they pass.
         """
-        if token is not None and token.needs_protect:
-            _, _, _, cur_node = self._find(key, token)
+        guard = _deprecated_alias("guard", "token", guard, token)
+        if guard is not None and guard.needs_protect:
+            _, _, _, cur_node = self._find(key, guard)
             if cur_node is not None and cur_node.key == key:
                 return cur_node.value
             return default

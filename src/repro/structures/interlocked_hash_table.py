@@ -33,6 +33,7 @@ from ..core.epoch_manager import EpochManager
 from ..core.token import Token
 from ..memory.address import NIL, is_nil
 from ..reclaim import EBRReclaimer, default_reclaimer
+from ._compat import _deprecated_alias
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -66,14 +67,15 @@ class InterlockedHashTable:
         cyclically over locales.
     reclaimer:
         Optional shared reclaimer from :mod:`repro.reclaim` (any scheme).
-        When omitted (and no ``manager`` is given either) the table asks
+        When omitted the table asks
         :func:`repro.reclaim.default_reclaimer` for whatever scheme the
         runtime is configured for — the one shared default-construction
         factory — and owns it (``destroy()`` tears it down).
     manager:
-        Backwards-compatible spelling: share an existing
+        Deprecated alias of ``reclaimer``: share an existing
         :class:`EpochManager` (wrapped in an :class:`EBRReclaimer`
-        adapter, not owned).  Mutually exclusive with ``reclaimer``.
+        adapter, not owned).  Emits a :class:`DeprecationWarning`;
+        mutually exclusive with ``reclaimer``.
     """
 
     def __init__(
@@ -85,20 +87,21 @@ class InterlockedHashTable:
         reclaimer=None,
         aba_protection: bool = True,
     ) -> None:
-        if manager is not None and reclaimer is not None:
-            raise ValueError("pass either reclaimer= or manager=, not both")
         self._rt = runtime
         n = 1
         while n < max(1, buckets):
             n <<= 1
         self._nbuckets = n
-        self._owns_reclaimer = manager is None and reclaimer is None
-        if reclaimer is not None:
-            self.reclaimer = reclaimer
-        elif manager is not None:
+        effective = _deprecated_alias("reclaimer", "manager", reclaimer, manager)
+        self._owns_reclaimer = effective is None
+        if effective is None:
+            self.reclaimer = default_reclaimer(runtime)
+        elif effective is manager:
+            # Legacy spelling shared a bare EpochManager: wrap it in the
+            # EBR adapter (not owned), exactly as before the rename.
             self.reclaimer = EBRReclaimer(runtime, manager=manager)
         else:
-            self.reclaimer = default_reclaimer(runtime)
+            self.reclaimer = effective
         #: The underlying EpochManager when the scheme is EBR (legacy
         #: accessor kept for callers that shared a manager), else None.
         self.manager = getattr(self.reclaimer, "manager", None)
@@ -148,28 +151,37 @@ class InterlockedHashTable:
             return header.compare_and_swap_aba(snap, new)
         return header.compare_and_swap(snap, new)
 
-    def _load_header_protected(self, header: AtomicObject, token: Optional[Token]):
+    def _load_header_protected(self, header: AtomicObject, guard: Optional[Token]):
         """:meth:`_load_header` plus the hazard handshake when required."""
-        if token is None or not token.needs_protect:
+        if guard is None or not guard.needs_protect:
             return self._load_header(header)
         while True:
             snap, addr = self._load_header(header)
             if is_nil(addr):
                 return snap, addr
-            token.protect(addr)
+            guard.protect(addr)
             if self._load_header(header)[1] == addr:
                 return snap, addr
 
-    def get(self, key: Any, default: Any = None, token: Optional[Token] = None) -> Any:
+    def get(
+        self,
+        key: Any,
+        default: Any = None,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Look up ``key``: one header read + one snapshot fetch.
 
-        ``token`` is only needed under hazard-pointer reclamation, where
+        ``guard`` is only needed under hazard-pointer reclamation, where
         the snapshot must be protected before the fetch; region-based
-        schemes cover readers through their pinned guard.
+        schemes cover readers through their pinned guard.  ``token=`` is
+        the deprecated alias.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         h = _stable_hash(key)
         header = self._headers[self._bucket_of(h)]
-        _, addr = self._load_header_protected(header, token)
+        _, addr = self._load_header_protected(header, guard)
         if is_nil(addr):
             return default
         snap: _BucketSnapshot = self._rt.deref(addr)
@@ -178,10 +190,17 @@ class InterlockedHashTable:
                 return ev
         return default
 
-    def contains(self, key: Any, token: Optional[Token] = None) -> bool:
+    def contains(
+        self,
+        key: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Membership test (wait-free)."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         sentinel = object()
-        return self.get(key, sentinel, token=token) is not sentinel
+        return self.get(key, sentinel, guard=guard) is not sentinel
 
     # ------------------------------------------------------------------
     # writes (lock-free RCU on the bucket)
@@ -190,7 +209,7 @@ class InterlockedHashTable:
         self,
         header: AtomicObject,
         mutate,
-        token: Optional[Token],
+        guard: Optional[Token],
     ) -> Tuple[bool, Any]:
         """Read-copy-update loop on one bucket header.
 
@@ -199,7 +218,7 @@ class InterlockedHashTable:
         """
         rt = self._rt
         while True:
-            snap_ref, old_addr = self._load_header_protected(header, token)
+            snap_ref, old_addr = self._load_header_protected(header, guard)
             entries: Tuple[Tuple[int, Any, Any], ...] = ()
             if not is_nil(old_addr):
                 entries = rt.deref(old_addr).entries
@@ -213,15 +232,23 @@ class InterlockedHashTable:
             new_addr = rt.new_obj(_BucketSnapshot(new_entries))
             if self._cas_header(header, snap_ref, new_addr):
                 if not is_nil(old_addr):
-                    if token is not None:
-                        token.defer_delete(old_addr)
+                    if guard is not None:
+                        guard.defer_delete(old_addr)
                     # else: leak the old snapshot (safe).
                 return True, result
             # Lost the race: discard our unpublished snapshot and retry.
             rt.free(new_addr)
 
-    def put(self, key: Any, value: Any, token: Optional[Token] = None) -> bool:
+    def put(
+        self,
+        key: Any,
+        value: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Insert or update; returns True when a *new* key was added."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         h = _stable_hash(key)
         header = self._headers[self._bucket_of(h)]
 
@@ -235,11 +262,18 @@ class InterlockedHashTable:
             new = tuple(sorted(entries + ((h, key, value),), key=lambda e: e[0]))
             return new, True
 
-        _, added = self._publish(header, mutate, token)
+        _, added = self._publish(header, mutate, guard)
         return added
 
-    def remove(self, key: Any, token: Optional[Token] = None) -> bool:
+    def remove(
+        self,
+        key: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> bool:
         """Delete ``key``; returns True when it was present."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         h = _stable_hash(key)
         header = self._headers[self._bucket_of(h)]
 
@@ -249,16 +283,25 @@ class InterlockedHashTable:
                     return entries[:i] + entries[i + 1 :], True
             return None, False
 
-        _, removed = self._publish(header, mutate, token)
+        _, removed = self._publish(header, mutate, guard)
         return removed
 
-    def update(self, key: Any, fn, default: Any = None, token: Optional[Token] = None) -> Any:
+    def update(
+        self,
+        key: Any,
+        fn,
+        default: Any = None,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Atomically apply ``fn(old_value_or_default) -> new_value``.
 
         The read-modify-write primitive (e.g. counters:
         ``table.update(k, lambda v: v + 1, default=0)``).  Returns the new
         value.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         h = _stable_hash(key)
         header = self._headers[self._bucket_of(h)]
 
@@ -272,7 +315,7 @@ class InterlockedHashTable:
             new = tuple(sorted(entries + ((h, key, nv),), key=lambda e: e[0]))
             return new, nv
 
-        _, new_value = self._publish(header, mutate, token)
+        _, new_value = self._publish(header, mutate, guard)
         return new_value
 
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ from ..core.atomic_object import AtomicObject
 from ..core.token import Token
 from ..errors import EmptyStructureError
 from ..memory.address import NIL, GlobalAddress, is_nil
+from ._compat import _deprecated_alias
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -110,22 +111,29 @@ class LockFreeQueue:
         return cell.compare_and_swap(snap, new)
 
     # ------------------------------------------------------------------
-    def enqueue(self, value: Any, token: Optional[Token] = None) -> None:
+    def enqueue(
+        self,
+        value: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> None:
         """Append ``value`` (lock-free; helps a lagging tail forward).
 
-        ``token`` is accepted for interface symmetry (an enqueue retires
+        ``guard`` is accepted for interface symmetry (an enqueue retires
         nothing); in the plain-CAS mode the *caller* is responsible for
         operating under a pinned guard so deferred reclamation can stand
-        in for ABA protection.
+        in for ABA protection.  ``token=`` is the deprecated alias.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         rt = self._rt
-        protecting = token is not None and token.needs_protect
+        protecting = guard is not None and guard.needs_protect
         node = QueueNode(rt, value, rt.here(), self.aba_protection)
         addr = rt.new_obj(node)
         while True:
             tail_snap, tail_addr = self._load(self.tail)
             if protecting:
-                token.protect(tail_addr, 0)
+                guard.protect(tail_addr, 0)
                 if self._load(self.tail)[1] != tail_addr:
                     continue  # tail moved before the hazard was visible
             tail_node = rt.deref(tail_addr)
@@ -143,19 +151,25 @@ class LockFreeQueue:
                 # Tail is lagging: help it forward and retry.
                 self._cas(self.tail, tail_snap, next_addr)
 
-    def dequeue(self, token: Optional[Token] = None) -> Any:
+    def dequeue(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Remove and return the oldest value.
 
         Raises :class:`EmptyStructureError` when the queue is empty.  The
-        retired dummy node is deferred through ``token`` when given (else
-        leaked, which is safe).
+        retired dummy node is deferred through ``guard`` when given (else
+        leaked, which is safe).  ``token=`` is the deprecated alias.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         rt = self._rt
-        protecting = token is not None and token.needs_protect
+        protecting = guard is not None and guard.needs_protect
         while True:
             head_snap, head_addr = self._load(self.head)
             if protecting:
-                token.protect(head_addr, 0)
+                guard.protect(head_addr, 0)
                 if self._load(self.head)[1] != head_addr:
                     continue  # head moved before the hazard was visible
             tail_snap, tail_addr = self._load(self.tail)
@@ -170,21 +184,27 @@ class LockFreeQueue:
                 self._cas(self.tail, tail_snap, next_addr)
                 continue
             if protecting:
-                token.protect(next_addr, 1)
+                guard.protect(next_addr, 1)
                 if self._load(self.head)[1] != head_addr:
                     continue  # next may have been recycled; retry from head
             next_node = rt.deref(next_addr)
             value = next_node.value
             if self._cas(self.head, head_snap, next_addr):
                 # head_addr's node becomes garbage (the new dummy is next).
-                if token is not None:
-                    token.defer_delete(head_addr)
+                if guard is not None:
+                    guard.defer_delete(head_addr)
                 return value
 
-    def try_dequeue(self, token: Optional[Token] = None) -> Optional[Any]:
+    def try_dequeue(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Optional[Any]:
         """Dequeue, returning ``None`` instead of raising on empty."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         try:
-            return self.dequeue(token)
+            return self.dequeue(guard)
         except EmptyStructureError:
             return None
 
@@ -195,11 +215,17 @@ class LockFreeQueue:
         node = self._rt.deref(head_addr)
         return is_nil(self._load(node.next)[1])
 
-    def drain(self, token: Optional[Token] = None) -> List[Any]:
+    def drain(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> List[Any]:
         """Dequeue everything (quiescent helper)."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         out: List[Any] = []
         while True:
-            v = self.try_dequeue(token)
+            v = self.try_dequeue(guard)
             if v is None and self.is_empty():
                 break
             out.append(v)

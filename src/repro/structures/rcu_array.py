@@ -38,6 +38,7 @@ from ..core.atomic_object import AtomicObject
 from ..core.token import Token
 from ..errors import StructureError
 from ..memory.address import GlobalAddress, is_nil
+from ._compat import _deprecated_alias
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -111,7 +112,7 @@ class RCUArray:
             out.append(rt.locale(target).heap.alloc(payload))
         return tuple(out)
 
-    def _descriptor(self, token: Optional[Token] = None) -> _Descriptor:
+    def _descriptor(self, guard: Optional[Token] = None) -> _Descriptor:
         """Fetch the current descriptor (one atomic read + one GET).
 
         With a hazard-pointer guard the descriptor address is published
@@ -119,9 +120,9 @@ class RCUArray:
         handshake entirely.
         """
         addr = self._root.read_aba().get_object()
-        if token is not None and token.needs_protect:
+        if guard is not None and guard.needs_protect:
             while True:
-                token.protect(addr)
+                guard.protect(addr)
                 current = self._root.read_aba().get_object()
                 if current == addr:
                     break
@@ -139,7 +140,7 @@ class RCUArray:
     # wait-free element access
     # ------------------------------------------------------------------
     def _locate_protected(
-        self, index: int, token: Optional[Token]
+        self, index: int, guard: Optional[Token]
     ) -> Tuple[_Descriptor, GlobalAddress, int]:
         """Resolve ``index`` to its block, with the HP double handshake.
 
@@ -151,41 +152,56 @@ class RCUArray:
         descriptor, the blocks it references had not been retired when
         the hazard became visible.  Region-based schemes skip all of it.
         """
-        if token is None or not token.needs_protect:
-            desc = self._descriptor(token)
+        if guard is None or not guard.needs_protect:
+            desc = self._descriptor(guard)
             block_addr, off = self._locate(desc, index)
             return desc, block_addr, off
         while True:
             snap_addr = self._root.read_aba().get_object()
-            token.protect(snap_addr, 0)
+            guard.protect(snap_addr, 0)
             if self._root.read_aba().get_object() != snap_addr:
                 continue
             desc: _Descriptor = self._rt.deref(snap_addr)
             block_addr, off = self._locate(desc, index)
-            token.protect(block_addr, 1)
+            guard.protect(block_addr, 1)
             if self._root.read_aba().get_object() != snap_addr:
                 continue  # resized under us: the block may be retired
             return desc, block_addr, off
 
-    def read(self, index: int, token: Optional[Token] = None) -> Any:
+    def read(
+        self,
+        index: int,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Load element ``index`` (wait-free: no loops, no CAS).
 
-        ``token`` is only consulted under hazard-pointer reclamation
+        ``guard`` is only consulted under hazard-pointer reclamation
         (descriptor + block protection); region-based schemes need none
-        here.
+        here.  ``token=`` is the deprecated alias.
         """
-        _, block_addr, off = self._locate_protected(index, token)
+        guard = _deprecated_alias("guard", "token", guard, token)
+        _, block_addr, off = self._locate_protected(index, guard)
         block = self._rt.deref(block_addr)
         return block[off]
 
-    def write(self, index: int, value: Any, token: Optional[Token] = None) -> None:
+    def write(
+        self,
+        index: int,
+        value: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> None:
         """Store element ``index`` (wait-free).
 
         Element writes mutate blocks in place — RCU protects the array's
         *structure* (the descriptor), not individual elements, exactly as
         in the RCUArray paper.
         """
-        _, block_addr, off = self._locate_protected(index, token)
+        guard = _deprecated_alias("guard", "token", guard, token)
+        _, block_addr, off = self._locate_protected(index, guard)
         block = self._rt.deref(block_addr)
         ctx_charge = self._rt.network
         from ..runtime.context import maybe_context
@@ -201,23 +217,30 @@ class RCUArray:
     # ------------------------------------------------------------------
     # RCU structural updates
     # ------------------------------------------------------------------
-    def resize(self, new_length: int, token: Optional[Token] = None) -> None:
+    def resize(
+        self,
+        new_length: int,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> None:
         """Grow or shrink to ``new_length`` (lock-free RCU publication).
 
         Surviving blocks are shared between the old and new descriptors;
         dropped blocks and the old descriptor are retired through
-        ``token`` (or leaked safely without one).  Concurrent readers keep
-        a consistent view throughout.
+        ``guard`` (or leaked safely without one).  Concurrent readers keep
+        a consistent view throughout.  ``token=`` is the deprecated alias.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         if new_length < 0:
             raise ValueError("new_length must be >= 0")
         rt = self._rt
-        protecting = token is not None and token.needs_protect
+        protecting = guard is not None and guard.needs_protect
         while True:
             snap = self._root.read_aba()
             old_addr = snap.get_object()
             if protecting:
-                token.protect(old_addr)
+                guard.protect(old_addr)
                 if self._root.read_aba().get_object() != old_addr:
                     continue  # descriptor republished before hazard visible
             old_desc: _Descriptor = rt.deref(old_addr)
@@ -234,10 +257,10 @@ class RCUArray:
             new_addr = rt.new_obj(new_desc, locale=self.home)
             if self._root.compare_and_swap_aba(snap, new_addr):
                 # Retire the old descriptor and any dropped blocks.
-                if token is not None:
-                    token.defer_delete(snap.get_object())
+                if guard is not None:
+                    guard.defer_delete(snap.get_object())
                     for dropped in old_desc.blocks[new_nblocks:]:
-                        token.defer_delete(dropped)
+                        guard.defer_delete(dropped)
                 return
             # Lost the race: clean up our candidate and retry.
             rt.free(new_addr)
@@ -245,19 +268,26 @@ class RCUArray:
                 for b in blocks[old_nblocks:]:
                     rt.free(b)
 
-    def append(self, value: Any, token: Optional[Token] = None) -> int:
+    def append(
+        self,
+        value: Any,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> int:
         """Append one element; returns its index (resize + write)."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         while True:
-            desc = self._descriptor(token)
+            desc = self._descriptor(guard)
             idx = desc.length
             snap = self._root.read_aba()
             if snap.get_object() != self._root.peek():
                 # Another structural update is in flight; re-read.
                 continue
-            self.resize(idx + 1, token=token)
+            self.resize(idx + 1, guard=guard)
             # resize() may have raced; confirm our slot exists, then write.
-            if self._descriptor(token).length > idx:
-                self.write(idx, value, token)
+            if self._descriptor(guard).length > idx:
+                self.write(idx, value, guard)
                 return idx
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from ..core.atomic_object import AtomicObject
 from ..core.token import Token
 from ..errors import EmptyStructureError
 from ..memory.address import NIL, GlobalAddress, is_nil
+from ._compat import _deprecated_alias
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.runtime import Runtime
@@ -71,7 +72,7 @@ class LockFreeStack:
         recycling (kept for the ABA demonstration and Figure-3-style
         comparisons).
     unsafe_free:
-        When popping *without* a token: ``True`` frees nodes immediately
+        When popping *without* a guard: ``True`` frees nodes immediately
         (hazardous — test fuel), ``False`` leaks them (safe default).
     """
 
@@ -118,18 +119,25 @@ class LockFreeStack:
                 if self.head.compare_and_swap(old, addr):
                     return addr
 
-    def pop(self, token: Optional[Token] = None) -> Any:
+    def pop(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Any:
         """Pop the top value; raises :class:`EmptyStructureError` when empty.
 
-        With ``token`` (a pinned reclamation guard of any scheme) the
+        With ``guard`` (a pinned reclamation guard of any scheme) the
         unlinked node is deferred for safe reclamation; without one it
         leaks — or, with ``unsafe_free=True``, is freed immediately
         (use-after-free fuel for the tests that motivate deferred
         reclamation).  Hazard-pointer guards additionally get the
-        protect/validate handshake before the dereference.
+        protect/validate handshake before the dereference.  ``token=`` is
+        the deprecated alias of ``guard=``.
         """
+        guard = _deprecated_alias("guard", "token", guard, token)
         rt = self._rt
-        protecting = token is not None and token.needs_protect
+        protecting = guard is not None and guard.needs_protect
         if self.aba_protection:
             while True:
                 old_head = self.head.read_aba()
@@ -137,14 +145,14 @@ class LockFreeStack:
                 if is_nil(addr):
                     raise EmptyStructureError("pop from empty LockFreeStack")
                 if protecting:
-                    token.protect(addr)
+                    guard.protect(addr)
                     if self.head.read_aba().get_object() != addr:
                         continue  # head moved before the hazard was visible
                 node = rt.deref(addr)
                 next_addr = node.next
                 if self.head.compare_and_swap_aba(old_head, next_addr):
                     value = node.value
-                    self._retire(addr, token)
+                    self._retire(addr, guard)
                     return value
         else:
             while True:
@@ -152,26 +160,32 @@ class LockFreeStack:
                 if is_nil(addr):
                     raise EmptyStructureError("pop from empty LockFreeStack")
                 if protecting:
-                    token.protect(addr)
+                    guard.protect(addr)
                     if self.head.read() != addr:
                         continue  # head moved before the hazard was visible
                 node = rt.deref(addr)
                 next_addr = node.next
                 if self.head.compare_and_swap(addr, next_addr):
                     value = node.value
-                    self._retire(addr, token)
+                    self._retire(addr, guard)
                     return value
 
-    def try_pop(self, token: Optional[Token] = None) -> Optional[Any]:
+    def try_pop(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> Optional[Any]:
         """Pop, returning ``None`` instead of raising on empty."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         try:
-            return self.pop(token)
+            return self.pop(guard)
         except EmptyStructureError:
             return None
 
-    def _retire(self, addr: GlobalAddress, token: Optional[Token]) -> None:
-        if token is not None:
-            token.defer_delete(addr)
+    def _retire(self, addr: GlobalAddress, guard: Optional[Token]) -> None:
+        if guard is not None:
+            guard.defer_delete(addr)
         elif self.unsafe_free:
             self._rt.free(addr)
         # else: leak (safe; reclaimed only by drain()).
@@ -193,11 +207,17 @@ class LockFreeStack:
             return is_nil(self.head.read_aba().get_object())
         return is_nil(self.head.read())
 
-    def drain(self, token: Optional[Token] = None) -> List[Any]:
+    def drain(
+        self,
+        guard: Optional[Token] = None,
+        *,
+        token: Optional[Token] = None,
+    ) -> List[Any]:
         """Pop everything (quiescent helper for tests/teardown)."""
+        guard = _deprecated_alias("guard", "token", guard, token)
         out: List[Any] = []
         while True:
-            v = self.try_pop(token)
+            v = self.try_pop(guard)
             if v is None and self.is_empty():
                 break
             out.append(v)

@@ -693,7 +693,7 @@ class TestFactoryPlumbing:
         def main():
             em = EpochManager(rt)
             rec = EBRReclaimer(rt, manager=em)
-            with pytest.raises(ValueError):
+            with pytest.raises(TypeError):
                 InterlockedHashTable(rt, manager=em, reclaimer=rec)
 
         rt.run(main)
