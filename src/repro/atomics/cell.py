@@ -86,6 +86,10 @@ class AtomicCell:
         self.home = home
         #: Per-cell serial resource (hot-line contention).
         self.line = ServicePoint(name or f"line@{home}")
+        # Full-detail tracing (docs/OBSERVABILITY.md): the line emits its
+        # own serve events, covering every cell fast path — including the
+        # integer cells' inlined bodies — without touching them.
+        self.line._tracer = getattr(runtime, "_full_tracer", None)
         self.name = name
         #: When True, the cell "opts out" of network atomics (priced as a
         #: CPU atomic even under `ugni`) — the paper's optimization for

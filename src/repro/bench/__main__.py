@@ -26,6 +26,7 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --all --engine compiled
     python -m repro.bench scenarios --all --update-baselines
     python -m repro.bench scenarios --spec my_scenario.toml
+    python -m repro.bench scenarios --run hotspot-zipf --trace full --trace-out t.json
 
 ``--list --filter <substring>`` narrows the listing to scenarios whose
 name — or policy spec — contains the substring (the registry has grown
@@ -54,6 +55,20 @@ under either engine and the flag composes with ``--update-baselines`` —
 running ``--all --engine compiled`` is the cheap way to re-verify every
 baseline.
 
+``--trace {off,spans,full}`` turns on the virtual-time flight recorder
+(docs/OBSERVABILITY.md).  Like ``--engine`` it is *not* a machine axis:
+tracing never changes any virtual-time result, so it composes with
+``--update-baselines`` too.  Traced runs attach the metrics registry
+under ``extra.obs`` in the report; ``--trace-out PATH`` additionally
+writes the merged event stream (Chrome trace-event JSON, Perfetto-
+loadable — or flat JSONL when PATH ends in ``.jsonl``).
+
+Trace mode — run one scenario under the flight recorder and summarize::
+
+    python -m repro.bench trace hotspot-zipf
+    python -m repro.bench trace topo-hier-agg-ebr-w4 --out trace.json
+    python -m repro.bench trace queue-churn --detail spans --engine compiled
+
 ``--run`` executes named scenarios (in parallel when ``--jobs`` > 1),
 writes a JSON report with virtual-time results and per-scenario regression
 verdicts against ``benchmarks/scenario_baselines.json``, and exits
@@ -71,6 +86,12 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from ..comm.costs import COST_PROFILES
+from ..obs import (
+    TRACE_DETAILS,
+    MetricsRegistry,
+    progress_suffix,
+    write_trace,
+)
 from ..runtime.config import ENGINES, RECLAIMER_SCHEMES
 from . import ablations, figures, scenarios
 from .report import Panel, render_figure
@@ -160,6 +181,25 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         " engine, so it composes with --update-baselines",
     )
     ap.add_argument(
+        "--trace",
+        choices=TRACE_DETAILS,
+        default=None,
+        help="enable the virtual-time flight recorder for every selected"
+        " scenario ('spans' or 'full'; see docs/OBSERVABILITY.md)."
+        " Not a machine axis: tracing never changes virtual results,"
+        " so it composes with --update-baselines; traced runs attach"
+        " the metrics registry under extra.obs in the report",
+    )
+    ap.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="with --trace: also write the merged event stream to PATH"
+        " (Chrome trace-event JSON for Perfetto, or flat JSONL when"
+        " PATH ends in .jsonl; multiple scenarios get the scenario name"
+        " inserted before the extension)",
+    )
+    ap.add_argument(
         "--cost-profile",
         choices=sorted(COST_PROFILES),
         default=None,
@@ -225,6 +265,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             )
     if args.filter is not None and not args.list:
         ap.error("--filter only applies to --list")
+    if args.trace_out is not None and args.trace in (None, "off"):
+        ap.error("--trace-out requires --trace spans or --trace full")
 
     if args.list:
         specs = list(scenarios.iter_scenarios())
@@ -288,6 +330,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         topo_overrides["policy"] = args.policy
     if args.engine is not None:
         topo_overrides["engine"] = args.engine
+    if args.trace is not None:
+        topo_overrides["trace"] = args.trace
     if args.cost_profile is not None:
         topo_overrides["cost_profile"] = args.cost_profile
     if args.cost_scale is not None:
@@ -310,25 +354,15 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             f"  {run.spec.name:24s} elapsed={run.result.elapsed:.6g}s"
             f" ops={run.result.operations}"
         )
-        rec = run.result.extra.get("em")
-        if isinstance(rec, dict) and "retired" in rec:
-            line += (
-                f" [{run.spec.topology.reclaimer}:"
-                f" retired={rec['retired']} freed={rec['freed']}"
-                f" peak={rec.get('peak_pending', 0)}]"
-            )
-            if rec.get("scan_batches") or rec.get("uplink_crossings"):
-                line += (
-                    f" [agg: batches={rec.get('scan_batches', 0)}"
-                    f" crossings={rec.get('uplink_crossings', 0)}]"
-                )
-            if run.spec.topology.policy != "fixed":
-                advances = rec.get("advances", rec.get("reclaims", 0))
-                line += (
-                    f" [policy: advances={advances}"
-                    f" deferrals={rec.get('policy_deferrals', 0)}"
-                    f" window={rec.get('window', 1)}]"
-                )
+        # One registry-owned renderer for the reclaimer/agg/policy blocks
+        # (docs/OBSERVABILITY.md) instead of per-scheme string building.
+        line += progress_suffix(
+            run.result.extra,
+            reclaimer=run.spec.topology.reclaimer,
+            policy=run.spec.topology.policy,
+        )
+        if run.trace_events is not None:
+            line += f" [trace: events={len(run.trace_events)}]"
         line += f" (wall {run.wall_seconds:.2f}s)"
         print(line)
         sys.stdout.flush()
@@ -347,6 +381,22 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(f"(report written to {args.out}; total wall {time.time() - t0:.1f}s)")
+
+    if args.trace_out is not None:
+        traced = [r for r in runs if r.trace_events is not None]
+        for run in traced:
+            path = Path(args.trace_out)
+            if len(traced) > 1:
+                path = path.with_name(
+                    f"{path.stem}.{run.spec.name}{path.suffix}"
+                )
+            fmt = write_trace(
+                str(path), run.trace_events, label=run.spec.name
+            )
+            print(
+                f"(trace for {run.spec.name}:"
+                f" {len(run.trace_events)} event(s) as {fmt} -> {path})"
+            )
 
     if args.update_baselines:
         if scaled:
@@ -382,11 +432,87 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
     return 0
 
 
+def trace_main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point for ``python -m repro.bench trace ...``."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench trace",
+        description="Run one scenario under the virtual-time flight"
+        " recorder and summarize its event stream (docs/OBSERVABILITY.md).",
+    )
+    ap.add_argument("name", help="registered scenario to trace")
+    ap.add_argument(
+        "--detail",
+        choices=[d for d in TRACE_DETAILS if d != "off"],
+        default="full",
+        help="trace detail (default: full)",
+    )
+    ap.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="workload execution engine override (docs/ENGINE.md; 'full'"
+        " detail always replays through the interpreter)",
+    )
+    ap.add_argument(
+        "--ops-scale",
+        type=float,
+        default=None,
+        help="scale every per-task operation count (quick passes)",
+    )
+    ap.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="run N times and verify the event stream is bit-identical",
+    )
+    ap.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the event stream to PATH (Chrome trace-event JSON"
+        " for Perfetto, or flat JSONL when PATH ends in .jsonl)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        spec = scenarios.get_scenario(args.name)
+        overrides = {"trace": args.detail}
+        if args.engine is not None:
+            overrides["engine"] = args.engine
+        spec = spec.with_topology(**overrides)
+    except scenarios.ScenarioError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.ops_scale is not None:
+        spec = spec.with_measure(ops_scale=args.ops_scale)
+    if args.repeats is not None:
+        spec = spec.with_measure(repeats=args.repeats)
+
+    run = scenarios.run_scenario(spec)
+    assert run.trace_events is not None
+    print(
+        f"{spec.name}: elapsed={run.result.elapsed:.6g}s"
+        f" ops={run.result.operations} (wall {run.wall_seconds:.2f}s)"
+    )
+    registry = MetricsRegistry.from_events(run.trace_events, args.detail)
+    for line in registry.summary_lines():
+        print(line)
+    if args.out is not None:
+        fmt = write_trace(args.out, run.trace_events, label=spec.name)
+        print(
+            f"({len(run.trace_events)} event(s) written as {fmt} to"
+            f" {args.out})"
+        )
+    return 0
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     """Entry point for ``python -m repro.bench``."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "scenarios":
         return scenario_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures on the simulated PGAS runtime.",

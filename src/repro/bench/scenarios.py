@@ -71,6 +71,7 @@ from ..comm.aggregation import parse_aggregation
 from ..comm.costs import resolve_cost_model
 from ..comm.topology import parse_topology
 from ..errors import ReproError
+from ..obs import MetricsRegistry, parse_trace
 from ..policy import parse_policy
 from ..runtime.config import (
     ENGINES,
@@ -168,6 +169,13 @@ class TopologySpec:
     ``"threshold:64"``, ``"decay:64"``, ``"grace:1e-4"``, or
     ``"threshold:32+adaptive:2..64"``.  Policies change the simulated
     machine's decisions, so the axis *is* part of a baseline's identity.
+
+    ``trace`` sets the flight-recorder detail (see :mod:`repro.obs` and
+    docs/OBSERVABILITY.md): ``"off"`` (default), ``"spans"`` or
+    ``"full"``.  Like ``engine`` it is *not* part of the simulated
+    machine — tracing never changes any virtual-time result — so the key
+    is never part of a baseline's identity and ``as_dict`` omits it when
+    off.
     """
 
     locales: int = 8
@@ -183,6 +191,7 @@ class TopologySpec:
     aggregation: Any = 1
     engine: str = "interpreted"
     policy: Any = "fixed"
+    trace: str = "off"
 
     def __post_init__(self) -> None:
         if not isinstance(self.locales, int) or self.locales < 1:
@@ -260,6 +269,11 @@ class TopologySpec:
         except ValueError as exc:
             raise ScenarioError(f"topology.policy: {exc}") from None
         object.__setattr__(self, "policy", pol.spec())
+        try:
+            detail = parse_trace(self.trace)
+        except ValueError as exc:
+            raise ScenarioError(f"topology.trace: {exc}") from None
+        object.__setattr__(self, "trace", detail)
 
     @classmethod
     def from_dict(cls, doc: Mapping[str, Any]) -> "TopologySpec":
@@ -282,6 +296,7 @@ class TopologySpec:
             aggregation=self.aggregation,
             engine=self.engine,
             policy=self.policy,
+            trace=self.trace,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -301,6 +316,8 @@ class TopologySpec:
             out["engine"] = self.engine
         if self.policy != "fixed":
             out["policy"] = self.policy
+        if self.trace != "off":
+            out["trace"] = self.trace
         if self.cost_overrides:
             out["cost_overrides"] = dict(self.cost_overrides)
         if self.worker_pool_size is not None:
@@ -633,6 +650,9 @@ class ScenarioRun:
     spec: ScenarioSpec
     result: WorkloadResult
     wall_seconds: float
+    #: Flight-recorder event stream (``topology.trace != "off"`` only);
+    #: feed it to :func:`repro.obs.write_trace` for Perfetto/JSONL export.
+    trace_events: Optional[List[Dict[str, Any]]] = None
 
     def report_entry(self) -> Dict[str, Any]:
         """The JSON shape :func:`build_report` aggregates."""
@@ -668,17 +688,23 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
     When ``measure.repeats > 1`` every repetition must produce identical
     virtual time, operation count and comm totals — a violation raises
     :class:`ScenarioError`, because it means the scenario's workload broke
-    the engine's determinism contract.
+    the engine's determinism contract.  With tracing enabled the flight-
+    recorder event stream joins that check: repeats must replay the very
+    same events (docs/OBSERVABILITY.md), and the merged stream's metrics
+    registry lands under ``extra["obs"]`` in the run's report entry.
     """
     params = spec.workload.resolved_params(spec.measure.ops_scale)
     kind = WORKLOAD_KINDS[spec.workload.kind]
     t0 = time.perf_counter()
     reference: Optional[WorkloadResult] = None
+    reference_events: Optional[List[Dict[str, Any]]] = None
     for rep in range(spec.measure.repeats):
         with Runtime(config=spec.topology.runtime_config()) as rt:
             result = kind.runner(rt, spec.topology.tasks_per_locale, params)
+        events = rt._tracer.events() if rt._tracer is not None else None
         if reference is None:
             reference = result
+            reference_events = events
         elif (
             result.elapsed != reference.elapsed
             or result.operations != reference.operations
@@ -690,9 +716,24 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
                 f" comm={result.comm!r} vs first run"
                 f" elapsed={reference.elapsed!r}, comm={reference.comm!r}"
             )
+        elif events != reference_events:
+            raise ScenarioError(
+                f"scenario {spec.name!r} trace is not deterministic:"
+                f" repeat {rep + 1} emitted {len(events or [])} event(s)"
+                f" vs {len(reference_events or [])} on the first run,"
+                f" or the streams differ event-for-event"
+            )
     assert reference is not None
+    if reference_events is not None:
+        registry = MetricsRegistry.from_events(
+            reference_events, spec.topology.trace
+        )
+        reference.extra["obs"] = registry.as_dict()
     return ScenarioRun(
-        spec=spec, result=reference, wall_seconds=time.perf_counter() - t0
+        spec=spec,
+        result=reference,
+        wall_seconds=time.perf_counter() - t0,
+        trace_events=reference_events,
     )
 
 

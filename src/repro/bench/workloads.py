@@ -119,13 +119,19 @@ def run_atomic_mix(
     ntasks = nloc * tasks_per_locale
     ncells = num_cells if num_cells is not None else max(64, 2 * ntasks)
 
-    if kind == "atomic_int" and rt.config.engine == "compiled":
+    if (
+        kind == "atomic_int"
+        and rt.config.engine == "compiled"
+        and rt.config.trace != "full"
+    ):
         # Compiled lowering: the integer mix's op stream is one cell draw
         # per op (all four mix ops charge the same narrow route), so the
         # phase replays from target columns alone.  Cells are never
         # materialized — creating them charges nothing, and nothing
         # observes them after the phase.  AtomicObject variants read
         # values mid-stream and fall through to the interpreter below.
+        # Full-detail tracing takes the documented interpreter fallback
+        # (docs/OBSERVABILITY.md): the replay does not emit per-op events.
         def main_compiled() -> WorkloadResult:
             rt.reset_measurements()
             with rt.timed() as t:
@@ -504,9 +510,14 @@ def run_atomic_hotspot(
         cdf.append(acc)
     total_w = cdf[-1]
 
-    if cell == "atomic_int" and rt.config.engine == "compiled":
+    if (
+        cell == "atomic_int"
+        and rt.config.engine == "compiled"
+        and rt.config.trace != "full"
+    ):
         # Compiled lowering: same shape as the uniform mix — one CDF draw
         # per op yields the target column; the op cycle shares one route.
+        # Full-detail tracing falls back to the interpreter (see above).
         def main_compiled() -> WorkloadResult:
             rt.reset_measurements()
             with rt.timed() as t:
@@ -658,11 +669,18 @@ def run_epoch_mixed(
         # tracking epoch policy (grace — docs/POLICY.md) also forces the
         # interpreter: the replay charges pins without calling Token.pin,
         # so it would never record the virtual pin times the policy's
-        # decisions read, and the two engines would diverge.
+        # decisions read, and the two engines would diverge.  The same
+        # argument covers retire-time-tracking policies (the replay never
+        # calls Token.defer_delete, so limbo-age facts would be missing)
+        # and full-detail tracing (the replay emits no per-op events —
+        # the documented interpreter fallback of docs/OBSERVABILITY.md).
+        _policy = rt.config.resolved_policy().make_epoch_policy()
         compiled = (
             rt.config.engine == "compiled"
             and rt.config.reclaimer == "ebr"
-            and not rt.config.resolved_policy().make_epoch_policy().wants_pin_times
+            and rt.config.trace != "full"
+            and not _policy.wants_pin_times
+            and not _policy.wants_retire_times
         )
         advances = 0
         rt.reset_measurements()

@@ -102,6 +102,12 @@ class NetworkModel:
             }
         #: Operation counters, bucketed by initiating locale.
         self.diags = CommDiagnostics(config.num_locales)
+        #: Full-detail trace recorder (docs/OBSERVABILITY.md), or None —
+        #: the common case.  Installed by :meth:`install_tracer` when the
+        #: runtime's trace detail is ``full``; charge sites then emit one
+        #: ``op`` event per operation.  When None the only added cost per
+        #: charge is the attribute check.
+        self._tracer = None
         #: The validated message-aggregation window for this machine.
         self.aggregation = config.resolved_aggregation()
         # Per-distance-class cost models: the base model with only the
@@ -143,6 +149,22 @@ class NetworkModel:
             self.aggregation,
             config.resolved_policy().make_window_policy(self.aggregation.window),
         )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def install_tracer(self, tracer) -> None:
+        """Install a full-detail trace recorder on every charge site and
+        ServicePoint (called once, at Runtime construction, when
+        ``config.trace == "full"``).  Atomic-cell lines pick the recorder
+        up from ``runtime._full_tracer`` at cell construction."""
+        self._tracer = tracer
+        for p in self.nic:
+            p._tracer = tracer
+        for p in self.progress:
+            p._tracer = tracer
+        for p in self.uplinks.values():
+            p._tracer = tracer
 
     # ------------------------------------------------------------------
     # topology plumbing
@@ -519,56 +541,71 @@ class NetworkModel:
     def read(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a GET of ``nbytes`` from locale ``home``."""
         clock = ctx.clock
+        tr = self._tracer
+        t0 = clock.now if tr is not None else 0.0
         row = self._dist_rows[home]
         if row is None:
             row = self.distance_row(home)
         routes = self._get_routes[home]
         if routes is None:
             routes = self._data_routes(self._get_routes, home, CommOp.GET)
-        r = routes[row[ctx.locale_id]]
+        dclass = row[ctx.locale_id]
+        r = routes[dclass]
         if r is None:
             # Self or coherent peer: one local load, no communication.
             clock.now += self._cpu_load_latency
-            return
-        # Thread-local stripe, not the ctx cache (see charge_atomic).
-        self.diags.record_index(ctx.locale_id, r.diag_index)
-        t = clock.now + r.latency + nbytes * r.byte_cost
-        clock.now = r.point.serve(t, r.service)
+        else:
+            # Thread-local stripe, not the ctx cache (see charge_atomic).
+            self.diags.record_index(ctx.locale_id, r.diag_index)
+            t = clock.now + r.latency + nbytes * r.byte_cost
+            clock.now = r.point.serve(t, r.service)
+        if tr is not None:
+            tr.op("get", t0, clock.now, dclass, home, nbytes=nbytes)
 
     def write(self, ctx: "TaskContext", home: int, nbytes: int = 8) -> None:
         """Charge a PUT of ``nbytes`` to locale ``home``."""
         clock = ctx.clock
+        tr = self._tracer
+        t0 = clock.now if tr is not None else 0.0
         row = self._dist_rows[home]
         if row is None:
             row = self.distance_row(home)
         routes = self._put_routes[home]
         if routes is None:
             routes = self._data_routes(self._put_routes, home, CommOp.PUT)
-        r = routes[row[ctx.locale_id]]
+        dclass = row[ctx.locale_id]
+        r = routes[dclass]
         if r is None:
             clock.now += self._cpu_load_latency
-            return
-        # Thread-local stripe, not the ctx cache (see charge_atomic).
-        self.diags.record_index(ctx.locale_id, r.diag_index)
-        t = clock.now + r.latency + nbytes * r.byte_cost
-        clock.now = r.point.serve(t, r.service)
+        else:
+            # Thread-local stripe, not the ctx cache (see charge_atomic).
+            self.diags.record_index(ctx.locale_id, r.diag_index)
+            t = clock.now + r.latency + nbytes * r.byte_cost
+            clock.now = r.point.serve(t, r.service)
+        if tr is not None:
+            tr.op("put", t0, clock.now, dclass, home, nbytes=nbytes)
 
     def bulk(self, ctx: "TaskContext", home: int, nbytes: int) -> None:
         """Charge a bulk one-sided transfer of ``nbytes`` to/from ``home``."""
         clock = ctx.clock
+        tr = self._tracer
+        t0 = clock.now if tr is not None else 0.0
         row = self._dist_rows[home]
         if row is None:
             row = self.distance_row(home)
         routes = self._bulk_routes[home]
         if routes is None:
             routes = self._data_routes(self._bulk_routes, home, CommOp.BULK)
-        r = routes[row[ctx.locale_id]]
+        dclass = row[ctx.locale_id]
+        r = routes[dclass]
         if r is None:
             clock.now += self._cpu_load_latency + nbytes * self._bulk_byte_cost
-            return
-        self.diags.record_bulk(ctx.locale_id, nbytes)
-        t = clock.now + r.latency + nbytes * r.byte_cost
-        clock.now = r.point.serve(t, r.service)
+        else:
+            self.diags.record_bulk(ctx.locale_id, nbytes)
+            t = clock.now + r.latency + nbytes * r.byte_cost
+            clock.now = r.point.serve(t, r.service)
+        if tr is not None:
+            tr.op("bulk", t0, clock.now, dclass, home, nbytes=nbytes)
 
     # ------------------------------------------------------------------
     # remote execution
@@ -578,42 +615,54 @@ class NetworkModel:
         dclass = self.distance_row(target)[ctx.locale_id]
         if dclass == 0:
             return
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
         ctrl = self._ctrl_routes(target)[dclass]
         if ctrl is None:
             # Coherent peer: scheduling a task on a core we share memory
             # with — a local spawn, no message, so (like every other
             # coherent-class charge) nothing is recorded in comm diags.
             ctx.clock.advance(self.costs.task_spawn_local)
-            return
-        self.diags.record(ctx.locale_id, CommOp.FORK)
-        point, cc = ctrl
-        self._serve(ctx.clock, cc.task_spawn_remote, (point,), (cc.am_service,))
+        else:
+            self.diags.record(ctx.locale_id, CommOp.FORK)
+            point, cc = ctrl
+            self._serve(ctx.clock, cc.task_spawn_remote, (point,), (cc.am_service,))
+        if tr is not None:
+            tr.op("fork", t0, ctx.clock.now, dclass, target)
 
     def remote_return(self, ctx: "TaskContext", origin: int) -> None:
         """Charge returning from an ``on`` statement back to ``origin``."""
         dclass = self.distance_row(origin)[ctx.locale_id]
         if dclass == 0:
             return
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
         ctrl = self._ctrl_routes(origin)[dclass]
         if ctrl is None:
             # Coherent peer: no return message either (see remote_fork).
             ctx.clock.advance(self._cpu_load_latency)
-            return
-        self.diags.record(ctx.locale_id, CommOp.AM)
-        point, cc = ctrl
-        self._serve(ctx.clock, cc.am_latency, (point,), (cc.am_service,))
+        else:
+            self.diags.record(ctx.locale_id, CommOp.AM)
+            point, cc = ctrl
+            self._serve(ctx.clock, cc.am_latency, (point,), (cc.am_service,))
+        if tr is not None:
+            tr.op("return", t0, ctx.clock.now, dclass, origin)
 
     def am_roundtrip(self, ctx: "TaskContext", target: int) -> None:
         """Charge a generic RPC to ``target`` (request + response)."""
-        ctrl_row = self._ctrl_routes(target)
-        ctrl = ctrl_row[self.distance_row(target)[ctx.locale_id]]
+        dclass = self.distance_row(target)[ctx.locale_id]
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
+        ctrl = self._ctrl_routes(target)[dclass]
         if ctrl is None:
             # Self or coherent peer: a direct call over shared memory.
             ctx.clock.advance(self._cpu_load_latency)
-            return
-        self.diags.record(ctx.locale_id, CommOp.AM)
-        point, cc = ctrl
-        self._serve(ctx.clock, 2.0 * cc.am_latency, (point,), (cc.am_service,))
+        else:
+            self.diags.record(ctx.locale_id, CommOp.AM)
+            point, cc = ctrl
+            self._serve(ctx.clock, 2.0 * cc.am_latency, (point,), (cc.am_service,))
+        if tr is not None:
+            tr.op("am", t0, ctx.clock.now, dclass, target)
 
     # ------------------------------------------------------------------
     # memory management costs
@@ -627,16 +676,27 @@ class NetworkModel:
         memory: no message, just the allocator cost.
         """
         c = self.costs
-        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
+        dclass = self.distance_row(home)[ctx.locale_id]
+        if not self._coherent_class[dclass]:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.alloc_latency)
+        if tr is not None:
+            # Encloses the "am" event the non-coherent path just emitted.
+            tr.op("alloc", t0, ctx.clock.now, dclass, home)
 
     def free(self, ctx: "TaskContext", home: int) -> None:
         """Charge freeing one object on ``home`` (non-coherent => RPC)."""
         c = self.costs
-        if not self._coherent_class[self.distance_row(home)[ctx.locale_id]]:
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
+        dclass = self.distance_row(home)[ctx.locale_id]
+        if not self._coherent_class[dclass]:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.free_latency)
+        if tr is not None:
+            tr.op("free", t0, ctx.clock.now, dclass, home)
 
     def bulk_free(
         self, ctx: "TaskContext", home: int, count: int, *, rpc: bool = True
@@ -651,11 +711,14 @@ class NetworkModel:
         if count <= 0:
             return
         c = self.costs
-        if rpc and not self._coherent_class[
-            self.distance_row(home)[ctx.locale_id]
-        ]:
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
+        dclass = self.distance_row(home)[ctx.locale_id]
+        if rpc and not self._coherent_class[dclass]:
             self.am_roundtrip(ctx, home)
         ctx.clock.advance(c.free_latency + (count - 1) * c.bulk_free_per_object)
+        if tr is not None:
+            tr.op("bulk_free", t0, ctx.clock.now, dclass, home, count=count)
 
     # ------------------------------------------------------------------
     # measurement control
@@ -673,3 +736,5 @@ class NetworkModel:
         for p in self.uplinks.values():
             p.reset()
         self.diags.reset()
+        if self._tracer is not None:
+            self._tracer.reset_points()

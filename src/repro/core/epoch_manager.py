@@ -212,6 +212,11 @@ class _EpochManagerInstance:
         self._token_seq_lock = threading.Lock()
         #: Objects deferred through tokens on this locale (diagnostic).
         self.deferred_count = 0
+        #: Oldest retire virtual time per limbo slot (None = empty),
+        #: maintained only while the manager tracks limbo ages
+        #: (``EpochManager._track_ages``); cleared when the slot drains.
+        self.slot_retire_vt: List[Optional[float]] = [None] * cycle
+        self.retire_vt_lock = threading.Lock()
 
     def make_token(self) -> Token:
         """Create a brand-new token and link it into the allocated list."""
@@ -296,6 +301,20 @@ class EpochManager(PrivatizedObject):
             else parse_policy(policy)
         )
         self.policy = policy_spec.make_epoch_policy()
+        # Flight-recorder hooks (docs/OBSERVABILITY.md): spans-level
+        # recorder for policy decisions and advance/clear summaries, the
+        # full-detail one for per-token retire events and per-slot drain
+        # records.  Both None when tracing is off.
+        self._tracer = getattr(runtime, "_tracer", None)
+        self._full = getattr(runtime, "_full_tracer", None)
+        #: Retire timestamps are folded per limbo slot only when an
+        #: age-reading policy is installed or full tracing is on.
+        self._track_ages = (
+            self.policy.wants_retire_times or self._full is not None
+        )
+        #: Shared-uplink traversals folded per distance class — the
+        #: :attr:`~repro.policy.EpochFacts.crossings` policy input.
+        self._crossings_by_class: Dict[int, int] = {}
         self.global_epoch = _GlobalEpoch(runtime, runtime.locale(home).id)
         self.use_election = bool(use_election)
         self.use_scatter = bool(use_scatter)
@@ -378,8 +397,24 @@ class EpochManager(PrivatizedObject):
             dclass = net.distance_row(rep)[src]
             if net.topology.classes[dclass].shared_uplink:
                 crossings += 1
+                # Per-class crossing facts (EpochFacts.crossings); called
+                # from the root after joins, so the fold is sequential.
+                fold = self._crossings_by_class
+                fold[dclass] = fold.get(dclass, 0) + 1
         if crossings:
             self.stats.inc("uplink_crossings", crossings)
+
+    def _fold_class_crossings(self, counters) -> None:
+        """Fold one aggregated gather's per-class batch crossings
+        (root-driven, after the coforall joins)."""
+        by_class = counters.by_class
+        if not by_class:
+            return
+        classes = self._rt.network.topology.classes
+        fold = self._crossings_by_class
+        for dclass, n in by_class.items():
+            if classes[dclass].shared_uplink:
+                fold[dclass] = fold.get(dclass, 0) + n
 
     # ------------------------------------------------------------------
     # registration
@@ -426,10 +461,21 @@ class EpochManager(PrivatizedObject):
         # ``fixed`` policy short-circuits here without computing facts,
         # keeping the legacy path bit-identical.
         pol = self.policy
-        if not pol.always_advance and not pol.decide(self._policy_facts()):
-            self.stats.inc("policy_deferrals")
-            self._rt.network.aggregator.policy_tick()
-            return False
+        if not pol.always_advance:
+            facts = self._policy_facts()
+            advance = pol.decide(facts)
+            tr = self._tracer
+            if tr is not None:
+                tr.policy_decision(
+                    pol.kind,
+                    "advance" if advance else "defer",
+                    facts.now,
+                    facts.as_dict(),
+                )
+            if not advance:
+                self.stats.inc("policy_deferrals")
+                self._rt.network.aggregator.policy_tick()
+                return False
 
         if self.use_election:
             # Listing 4 lines 2-6: local flag first, then the global flag.
@@ -470,8 +516,10 @@ class EpochManager(PrivatizedObject):
         from ..runtime.context import maybe_context
 
         want_pins = self.policy.wants_pin_times
+        want_ages = self._track_ages
         pending = []
         last_pin: Optional[float] = None
+        oldest: Optional[float] = None
         for lid in self._instance_lids:
             inst: _EpochManagerInstance = self.get_privatized_instance(lid)
             n = 0
@@ -486,9 +534,24 @@ class EpochManager(PrivatizedObject):
                     t = token._last_pin_vt
                     if t is not None and (last_pin is None or t > last_pin):
                         last_pin = t
+            if want_ages:
+                with inst.retire_vt_lock:
+                    for t_r in inst.slot_retire_vt:
+                        if t_r is not None and (oldest is None or t_r < oldest):
+                            oldest = t_r
+        cbc = self._crossings_by_class
+        crossings = (
+            tuple(cbc.get(i, 0) for i in range(max(cbc) + 1)) if cbc else ()
+        )
         ctx = maybe_context()
         now = ctx.clock.now if ctx is not None else 0.0
-        return EpochFacts(now=now, pending=tuple(pending), last_pin=last_pin)
+        return EpochFacts(
+            now=now,
+            pending=tuple(pending),
+            last_pin=last_pin,
+            crossings=crossings,
+            oldest_retire=oldest,
+        )
 
     def _coforall_instances(self, fn) -> None:
         """Run ``fn(instance locale)`` over every scan/drain unit.
@@ -555,6 +618,15 @@ class EpochManager(PrivatizedObject):
         reclaimed = self._drain_and_free([reclaim_index], new_epoch=new_epoch)
         self.stats.inc("advances")
         self.stats.inc("objects_reclaimed", reclaimed)
+        tr = self._tracer
+        if tr is not None:
+            tr.reclaim(
+                "advance",
+                "ebr",
+                current_context().clock.now,
+                epoch=new_epoch,
+                freed=reclaimed,
+            )
         return True
 
     def _drain_and_free(
@@ -583,6 +655,25 @@ class EpochManager(PrivatizedObject):
             for idx in indices:
                 for addr in inst_l.limbo_lists[idx].drain():
                     scatter.setdefault(addr.locale, []).append(addr.offset)
+            if self._track_ages:
+                with inst_l.retire_vt_lock:
+                    for idx in indices:
+                        inst_l.slot_retire_vt[idx] = None
+            tr = self._full
+            if tr is not None:
+                # Unit+slot drain record: the metrics registry matches it
+                # against this unit's pending retire events to recover
+                # exact limbo ages from the stream alone.  One task per
+                # instance locale appends to its own per-locale buffer,
+                # so emission order is deterministic.
+                tr.reclaim(
+                    "drain",
+                    "ebr",
+                    current_context().clock.now,
+                    unit=tr.unit_id(inst_l),
+                    slots=sorted(indices),
+                    count=sum(len(v) for v in scatter.values()),
+                )
             if self.use_scatter:
                 staged[lid] = scatter
             else:
@@ -624,6 +715,11 @@ class EpochManager(PrivatizedObject):
 
                 members = {rep: all_lids for rep, _i, all_lids in plan}
                 aggregator = rt.network.aggregator
+                # Per-group batch counters, folded into the per-class
+                # crossing facts after the join (list.append is atomic
+                # under the GIL; the post-join fold is commutative adds,
+                # so the result is order-independent).
+                gcounters: List[BatchCounters] = []
 
                 def gather_group(rep: int) -> None:
                     ctx = current_context()
@@ -645,11 +741,14 @@ class EpochManager(PrivatizedObject):
                     if counters.batches:
                         self.stats.inc("scan_batches", counters.batches)
                         self.stats.inc("uplink_crossings", counters.crossings)
+                        gcounters.append(counters)
 
                 rt.coforall_locales(
                     gather_group, locales=[rep for rep, _i, _a in plan]
                 )
                 self._note_traversal()
+                for counters in gcounters:
+                    self._fold_class_crossings(counters)
 
         return sum(freed_total)
 
@@ -663,6 +762,17 @@ class EpochManager(PrivatizedObject):
         self._check_alive()
         freed = self._drain_and_free(list(range(self.epoch_cycle)))
         self.stats.inc("objects_reclaimed", freed)
+        tr = self._tracer
+        if tr is not None:
+            from ..runtime.context import maybe_context
+
+            ctx = maybe_context()
+            tr.reclaim(
+                "clear",
+                "ebr",
+                ctx.clock.now if ctx is not None else 0.0,
+                freed=freed,
+            )
         # ``clear`` is a sequential quiescent point by contract — a valid
         # window-policy tick site (no-op for static windows).
         self._rt.network.aggregator.policy_tick()

@@ -73,6 +73,14 @@ class LocalEpochManager:
         #: keeps the fixed cadence — policies drive the *distributed*
         #: reclaim paths, which this helper has none of.
         self.policy = runtime.config.resolved_policy().make_epoch_policy()
+        #: Flight-recorder hooks (docs/OBSERVABILITY.md): tokens read
+        #: these through the same instance interface the distributed
+        #: manager exposes, so limbo-age facts and retire events work
+        #: identically on the single-locale path.
+        self._full = getattr(runtime, "_full_tracer", None)
+        self._track_ages = self.policy.wants_retire_times or self._full is not None
+        self.slot_retire_vt: List[Optional[float]] = [None] * EPOCH_CYCLE
+        self.retire_vt_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _check_alive(self) -> None:

@@ -64,6 +64,8 @@ class Token:
         "_alloc_next",
         "_track_pins",
         "_last_pin_vt",
+        "_track_ages",
+        "_full_tracer",
     )
 
     def __init__(self, inst: "_EpochManagerInstance", token_id: int) -> None:
@@ -92,6 +94,12 @@ class Token:
         #: Virtual time of this token's most recent pin (owner-written;
         #: max-folded by the root at policy decision points).
         self._last_pin_vt: Optional[float] = None
+        #: Limbo-age tracking (docs/POLICY.md, docs/OBSERVABILITY.md):
+        #: gated like ``_track_pins`` on one cached bool, so the stock
+        #: policies with tracing off pay a single branch per retire.
+        self._track_ages = inst.manager._track_ages
+        #: Full-detail flight recorder, or None (docs/OBSERVABILITY.md).
+        self._full_tracer = inst.manager._full
 
     # ------------------------------------------------------------------
     def _check_usable(self) -> None:
@@ -146,6 +154,9 @@ class Token:
             # task is the only writer, so no lock is needed; the root
             # max-folds across tokens at (post-join) decision points.
             self._last_pin_vt = current_context().clock.now
+        tr = self._full_tracer
+        if tr is not None:
+            tr.guard("pin", "ebr", current_context().clock.now)
         inst_epoch = self._inst_epoch
         my_epoch = self.local_epoch
         epoch = inst_epoch.read()
@@ -182,9 +193,28 @@ class Token:
         self._check_usable()
         if self.local_epoch.read() == 0:
             raise TokenStateError("defer_delete requires a pinned token")
-        epoch = self._inst.locale_epoch.read()
-        self._inst.limbo_lists[epoch - 1].push(addr)
-        self._inst.deferred_count += 1  # diagnostic; benign race
+        inst = self._inst
+        epoch = inst.locale_epoch.read()
+        inst.limbo_lists[epoch - 1].push(addr)
+        inst.deferred_count += 1  # diagnostic; benign race
+        if self._track_ages:
+            # Limbo-age fact: min-fold the retire timestamp into the
+            # instance's per-slot array.  The (real) lock costs no virtual
+            # time; it exists because socket siblings may retire into one
+            # shared instance concurrently.
+            now = current_context().clock.now
+            slot = epoch - 1
+            with inst.retire_vt_lock:
+                cur = inst.slot_retire_vt[slot]
+                if cur is None or now < cur:
+                    inst.slot_retire_vt[slot] = now
+            tr = self._full_tracer
+            if tr is not None:
+                # Unit+slot tag: the metrics registry pairs this with the
+                # matching drain event to recover the exact limbo age.
+                tr.guard(
+                    "retire", "ebr", now, unit=tr.unit_id(inst), slot=slot
+                )
 
     # Chapel-style alias.
     deferDelete = defer_delete

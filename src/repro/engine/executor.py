@@ -209,6 +209,8 @@ def run_uniform_atomic_phase(
     total_tasks = nloc * tpl
     if total_tasks == 0:
         return
+    tr = rt._tracer
+    t0 = ctx.clock.now if tr is not None else 0.0
     start = _forall_prologue(rt, ctx, list(range(nloc)), total_tasks)
     seed_base = rt.config.seed << 20
     diags = net.diags
@@ -278,6 +280,11 @@ def run_uniform_atomic_phase(
     ledger.writeback()
     if record:
         _writeback_diags(diags, diag_counts)
+    if tr is not None:
+        # Field-for-field the span Runtime.forall emits for the
+        # interpreted ``forall(range(nloc * tpl), body)`` of this phase —
+        # the cross-engine trace-equality contract (docs/OBSERVABILITY.md).
+        tr.span("forall", t0, ctx.clock.now, tasks=total_tasks, items=total_tasks)
 
 
 # ---------------------------------------------------------------------------
@@ -416,6 +423,8 @@ def run_ebr_epoch_phase(
     if total_tasks == 0:
         return
     active = [lid for lid, c in enumerate(per_locale) if c]
+    tr = rt._tracer
+    t0 = ctx.clock.now if tr is not None else 0.0
     start = _forall_prologue(rt, ctx, active, total_tasks)
 
     # ---- compile: per-instance and per-token charge plans --------------
@@ -516,3 +525,7 @@ def run_ebr_epoch_phase(
     ledger.writeback()
     if record:
         _writeback_diags(diags, diag_counts)
+    if tr is not None:
+        # Identical to the interpreted ``forall(items, body, ...)`` span
+        # (cross-engine trace-equality contract, docs/OBSERVABILITY.md).
+        tr.span("forall", t0, ctx.clock.now, tasks=total_tasks, items=len(data))

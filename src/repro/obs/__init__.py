@@ -1,0 +1,22 @@
+"""Deterministic observability: the virtual-time flight recorder.
+
+See docs/OBSERVABILITY.md.  Three parts: the trace recorder
+(:mod:`repro.obs.recorder`), the metrics registry
+(:mod:`repro.obs.metrics`), and the exporters (:mod:`repro.obs.export`).
+"""
+
+from .export import to_chrome_trace, to_jsonl, write_trace
+from .metrics import MetricsRegistry, progress_suffix
+from .recorder import TRACE_DETAILS, TraceRecorder, age_bucket, parse_trace
+
+__all__ = [
+    "TRACE_DETAILS",
+    "TraceRecorder",
+    "age_bucket",
+    "parse_trace",
+    "MetricsRegistry",
+    "progress_suffix",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,174 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and flat JSONL.
+
+Both exporters are pure functions of the merged event stream, emit keys
+in sorted order, and never consult the wall clock — so their output is
+byte-identical whenever the stream is (the property the determinism
+tests pin).  Open the Chrome JSON at https://ui.perfetto.dev (or
+``chrome://tracing``): one track per locale (spans on thread 0, per-op
+charges on thread 1) plus one process per uplink ServicePoint carrying
+its serve timeline and an idle-bank counter track.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["to_jsonl", "to_chrome_trace", "write_trace"]
+
+#: Perfetto pid namespace for uplink ServicePoint tracks (locales use
+#: their own ids; uplinks get a distinct process each so their serve
+#: timelines don't interleave with task-side events).
+UPLINK_PID_BASE = 1000
+
+#: Virtual seconds -> trace microseconds.
+_US = 1e6
+
+
+def to_jsonl(events: Iterable[Dict[str, Any]]) -> str:
+    """One sorted-key JSON object per line, in stream order."""
+    lines = [
+        json.dumps(ev, sort_keys=True, separators=(",", ":")) for ev in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _meta(pid: int, name: str, *, tid: int = 0, what: str = "process_name") -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "name": what,
+        "args": {"name": name},
+    }
+
+
+def to_chrome_trace(
+    events: Iterable[Dict[str, Any]], *, label: str = "repro"
+) -> Dict[str, Any]:
+    """The Chrome trace-event document for one run's stream.
+
+    Track layout: pid = locale id (tid 0 ``spans``, tid 1 ``ops``), and
+    pid = ``UPLINK_PID_BASE + k`` for the k-th uplink ServicePoint (names
+    sorted for a stable assignment).  Spans and serves become complete
+    (``X``) events, idle banks counter (``C``) tracks, everything else
+    instant (``i``) events.
+    """
+    events = list(events)
+    locales = sorted({ev["loc"] for ev in events})
+    uplink_names = sorted(
+        {
+            ev["point"]
+            for ev in events
+            if ev["kind"] == "serve" and "uplink" in ev["point"]
+        }
+    )
+    uplink_pid = {
+        name: UPLINK_PID_BASE + k for k, name in enumerate(uplink_names)
+    }
+
+    out: List[Dict[str, Any]] = []
+    for loc in locales:
+        out.append(_meta(loc, f"locale {loc}"))
+        out.append(_meta(loc, "spans", tid=0, what="thread_name"))
+        out.append(_meta(loc, "ops", tid=1, what="thread_name"))
+    for name, pid in uplink_pid.items():
+        out.append(_meta(pid, name))
+        out.append(_meta(pid, "serves", tid=0, what="thread_name"))
+
+    for ev in events:
+        kind = ev["kind"]
+        loc = ev["loc"]
+        t = ev["t"]
+        if kind == "span":
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": loc,
+                    "tid": 0,
+                    "ts": t * _US,
+                    "dur": (ev["t1"] - t) * _US,
+                    "name": ev["name"],
+                    "cat": "span",
+                    "args": {
+                        k: v
+                        for k, v in ev.items()
+                        if k not in ("kind", "t", "t1", "loc", "seq", "name")
+                    },
+                }
+            )
+        elif kind == "op":
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": loc,
+                    "tid": 1,
+                    "ts": t * _US,
+                    "dur": (ev["t1"] - t) * _US,
+                    "name": f"{ev['op']} d{ev['dclass']}",
+                    "cat": "op",
+                    "args": {"home": ev["home"], "dclass": ev["dclass"]},
+                }
+            )
+        elif kind == "serve" and ev["point"] in uplink_pid:
+            pid = uplink_pid[ev["point"]]
+            start = ev["t"] - ev["svc"]
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": start * _US,
+                    "dur": ev["svc"] * _US,
+                    "name": "serve",
+                    "cat": "serve",
+                    "args": {"qd": ev["qd"], "loc": loc},
+                }
+            )
+            out.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ev["t"] * _US,
+                    "name": "idle_bank",
+                    "args": {"bank": ev["bank"]},
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": loc,
+                    "tid": 0,
+                    "ts": t * _US,
+                    "name": kind if kind != "reclaim" else f"reclaim:{ev['op']}",
+                    "cat": kind,
+                    "args": {
+                        k: v
+                        for k, v in ev.items()
+                        if k not in ("kind", "t", "loc", "seq")
+                    },
+                }
+            )
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "clock": "virtual"},
+    }
+
+
+def write_trace(path: str, events: Iterable[Dict[str, Any]], *, label: str = "repro") -> str:
+    """Write the stream to ``path``: JSONL when the suffix is ``.jsonl``,
+    Chrome trace JSON otherwise.  Returns the format written."""
+    if str(path).endswith(".jsonl"):
+        text = to_jsonl(events)
+        fmt = "jsonl"
+    else:
+        text = json.dumps(to_chrome_trace(events, label=label), sort_keys=True)
+        fmt = "chrome"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt

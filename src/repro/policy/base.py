@@ -66,6 +66,17 @@ class EpochFacts:
     #: Virtual timestamp of the most recent ``pin()`` across all guards,
     #: or ``None`` when pins are not being tracked / none happened.
     last_pin: Optional[float] = None
+    #: Shared-uplink traversals per distance class accumulated by this
+    #: scheme's aggregated scan traffic (index = class index; empty when
+    #: aggregation never batched anything).  ROADMAP's "per-distance-class
+    #: crossing counts" policy input.
+    crossings: Tuple[int, ...] = ()
+    #: Virtual timestamp of the *oldest* still-pending retirement, or
+    #: ``None`` when ages are not being tracked / nothing is pending.
+    #: Tracked only when the installed policy sets ``wants_retire_times``
+    #: (or full-detail tracing is on), so the default path adds zero
+    #: per-retire work.
+    oldest_retire: Optional[float] = None
 
     @property
     def max_pending(self) -> int:
@@ -76,6 +87,25 @@ class EpochFacts:
     def total_pending(self) -> int:
         """Pending objects across all units."""
         return sum(self.pending)
+
+    @property
+    def oldest_age(self) -> Optional[float]:
+        """Age (seconds on the virtual clock) of the oldest pending
+        retirement, or ``None`` when not tracked / nothing pending."""
+        if self.oldest_retire is None:
+            return None
+        return self.now - self.oldest_retire
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot, recorded with each traced policy decision
+        (docs/OBSERVABILITY.md) so the trace shows the facts it saw."""
+        return {
+            "now": self.now,
+            "pending": list(self.pending),
+            "last_pin": self.last_pin,
+            "crossings": list(self.crossings),
+            "oldest_retire": self.oldest_retire,
+        }
 
 
 class PolicyBase:
@@ -114,6 +144,11 @@ class EpochPolicyBase(PolicyBase):
     #: record pin timestamps only when a tracking policy is installed, so
     #: the other policies add zero per-pin work.
     wants_pin_times = False
+    #: True when the policy consumes :attr:`EpochFacts.oldest_retire`
+    #: (limbo ages); schemes record retire timestamps only when a
+    #: tracking policy is installed or full-detail tracing is on, so the
+    #: stock policies add zero per-retire work.
+    wants_retire_times = False
 
     def __init__(self) -> None:
         #: Decisions that allowed the advance attempt to proceed.

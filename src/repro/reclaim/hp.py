@@ -231,7 +231,7 @@ class HazardPointerReclaimer(ReclaimerBase):
 
     def try_reclaim(self) -> bool:
         """Scan on behalf of *every* guard (root / phase-boundary use)."""
-        current_context()  # protocol parity: requires a task context
+        ctx = current_context()  # protocol parity: requires a task context
         # Epoch-policy gate (docs/POLICY.md): a deferral skips the scan —
         # and with it every remote hazard read — entirely.  Guard-local
         # threshold scans (``_after_retire``) are NOT gated: they are HP's
@@ -243,6 +243,11 @@ class HazardPointerReclaimer(ReclaimerBase):
         freed = self._scan(
             self._registered_guards(), global_sample=True  # type: ignore[arg-type]
         )
+        tr = self._tracer
+        if tr is not None:
+            # Root-driven summary (docs/OBSERVABILITY.md); guard-local
+            # threshold scans are worker-driven and stay un-summarized.
+            tr.reclaim("scan", self.scheme, ctx.clock.now, freed=freed)
         self._policy_tick()
         return freed > 0
 

@@ -198,6 +198,16 @@ class IntervalReclaimer(ReclaimerBase):
         freed = self._drain_retired(guards, lambda entry: entry[1] >= horizon)
         if freed:
             self._reclaims += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.reclaim(
+                "advance",
+                self.scheme,
+                ctx.clock.now,
+                era=new_era,
+                horizon=horizon,
+                freed=freed,
+            )
         self._policy_tick()
         return True
 

@@ -160,8 +160,12 @@ class GuardBase:
         writer) and costs zero virtual time — it is a *fact*, not an
         operation.
         """
-        if self._rec._track_pins:
+        rec = self._rec
+        if rec._track_pins:
             self._last_pin_vt = current_context().clock.now
+        tr = rec._full
+        if tr is not None:
+            tr.guard("pin", rec.scheme, current_context().clock.now)
 
     def pin(self) -> None:
         """Enter a protected region (scheme-specific announcement cost)."""
@@ -190,8 +194,20 @@ class GuardBase:
         if not self._pinned:
             raise TokenStateError("defer_delete requires a pinned guard")
         self._charge_local_load()
+        rec = self._rec
+        if rec._track_ages:
+            # Limbo-age tracking (an age-reading policy or full tracing):
+            # the entry carries its retire timestamp as a third element.
+            # Every consumer indexes entries, so both shapes coexist.
+            now = current_context().clock.now
+            entry: Tuple = (addr, self._retire_tag(), now)
+        else:
+            entry = (addr, self._retire_tag())
         with self._retired_lock:
-            self._retired.append((addr, self._retire_tag()))
+            self._retired.append(entry)
+        tr = rec._full
+        if tr is not None:
+            tr.guard("retire", rec.scheme, now)
         self._after_retire()
 
     # Chapel-style alias, matching Token.
@@ -278,6 +294,21 @@ class ReclaimerBase:
         )
         self.policy = policy_spec.make_epoch_policy()
         self._track_pins = self.policy.wants_pin_times
+        # Flight-recorder hooks (docs/OBSERVABILITY.md): the spans-level
+        # recorder carries policy decisions and root-driven reclaim
+        # summaries; the full-detail one adds guard pin/retire events and
+        # limbo-age histograms.  Both are None when tracing is off.
+        self._tracer = getattr(runtime, "_tracer", None)
+        self._full = getattr(runtime, "_full_tracer", None)
+        #: Retire timestamps ride the retired entries only when the policy
+        #: consumes limbo ages or full tracing is on — the stock policies
+        #: pay zero per-retire work.
+        self._track_ages = (
+            self.policy.wants_retire_times or self._full is not None
+        )
+        #: Shared-uplink batch crossings folded per distance class — the
+        #: :attr:`~repro.policy.EpochFacts.crossings` policy input.
+        self._crossings_by_class: Dict[int, int] = {}
         self._guards: List[GuardBase] = []
         self._registry_lock = threading.Lock()
         self._guard_seq = 0
@@ -360,7 +391,17 @@ class ReclaimerBase:
         pol = self.policy
         if pol.always_advance:
             return False
-        return not pol.decide(self._policy_facts())
+        facts = self._policy_facts()
+        advance = pol.decide(facts)
+        tr = self._tracer
+        if tr is not None:
+            tr.policy_decision(
+                pol.kind,
+                "advance" if advance else "defer",
+                facts.now,
+                facts.as_dict(),
+            )
+        return not advance
 
     def _policy_facts(self):
         """Cost-free :class:`~repro.policy.EpochFacts` snapshot.
@@ -375,7 +416,9 @@ class ReclaimerBase:
 
         per_locale: Dict[int, int] = {}
         last_pin: "float | None" = None
+        oldest: "float | None" = None
         want_pins = self.policy.wants_pin_times
+        want_ages = self._track_ages
         for guard in self._registered_guards():
             per_locale[guard.locale_id] = per_locale.get(
                 guard.locale_id, 0
@@ -384,14 +427,33 @@ class ReclaimerBase:
                 t = guard._last_pin_vt
                 if t is not None and (last_pin is None or t > last_pin):
                     last_pin = t
+            if want_ages:
+                with guard._retired_lock:
+                    for entry in guard._retired:
+                        if len(entry) > 2 and (oldest is None or entry[2] < oldest):
+                            oldest = entry[2]
         pending = [per_locale[lid] for lid in sorted(per_locale)]
         with self._orphan_lock:
             orphans = len(self._orphans)
+            if want_ages:
+                for entry in self._orphans:
+                    if len(entry) > 2 and (oldest is None or entry[2] < oldest):
+                        oldest = entry[2]
         if orphans:
             pending.append(orphans)
+        cbc = self._crossings_by_class
+        crossings = (
+            tuple(cbc.get(i, 0) for i in range(max(cbc) + 1)) if cbc else ()
+        )
         ctx = maybe_context()
         now = ctx.clock.now if ctx is not None else 0.0
-        return EpochFacts(now=now, pending=tuple(pending), last_pin=last_pin)
+        return EpochFacts(
+            now=now,
+            pending=tuple(pending),
+            last_pin=last_pin,
+            crossings=crossings,
+            oldest_retire=oldest,
+        )
 
     def _policy_tick(self) -> None:
         """Window-policy tick at this sequential reclaim point."""
@@ -434,7 +496,37 @@ class ReclaimerBase:
             to_free.extend(e for e in orphans if not keep(e))
             if kept_orphans:
                 self._adopt_orphans(kept_orphans)
-        return self._free_entries(to_free)
+        freed = self._free_entries(to_free)
+        tr = self._full
+        if tr is not None and to_free:
+            self._emit_free_event(tr, to_free, freed)
+        return freed
+
+    def _emit_free_event(self, tr, entries, freed: int) -> None:
+        """Full-detail ``reclaim free`` event with the limbo-age histogram
+        of the freed entries (docs/OBSERVABILITY.md).  Ages exist exactly
+        when the entries carry retire timestamps (``_track_ages``)."""
+        from ..obs import age_bucket
+
+        ctx = maybe_context()
+        now = ctx.clock.now if ctx is not None else 0.0
+        buckets: Dict[int, int] = {}
+        ages = 0
+        age_max = 0.0
+        for entry in entries:
+            if len(entry) > 2:
+                age = now - entry[2]
+                b = age_bucket(age)
+                buckets[b] = buckets.get(b, 0) + 1
+                ages += 1
+                if age > age_max:
+                    age_max = age
+        fields: Dict[str, Any] = {"freed": freed, "count": len(entries)}
+        if ages:
+            fields["age_buckets"] = buckets
+            fields["ages_count"] = ages
+            fields["age_max"] = age_max
+        tr.reclaim("free", self.scheme, now, **fields)
 
     def clear(self) -> int:
         """Free *everything* retired, unconditionally.
@@ -445,6 +537,15 @@ class ReclaimerBase:
         self._check_alive()
         self._note_pending()
         freed = self._drain_retired(self._registered_guards(), None)
+        tr = self._tracer
+        if tr is not None:
+            ctx = maybe_context()
+            tr.reclaim(
+                "clear",
+                self.scheme,
+                ctx.clock.now if ctx is not None else 0.0,
+                freed=freed,
+            )
         # ``clear`` is a sequential quiescent point by contract — a valid
         # window-policy tick site (no-op for static windows).
         self._policy_tick()
@@ -477,7 +578,8 @@ class ReclaimerBase:
         if not entries:
             return 0
         by_locale: Dict[int, List[int]] = {}
-        for addr, _tag in entries:
+        for entry in entries:
+            addr = entry[0]
             by_locale.setdefault(addr.locale, []).append(addr.offset)
         ctx = maybe_context()
         if ctx is None:
@@ -500,6 +602,15 @@ class ReclaimerBase:
         if counters.batches:
             self._scan_batches += counters.batches
             self._uplink_crossings += counters.crossings
+            by_class = counters.by_class
+            if by_class:
+                # Per-distance-class crossing facts (EpochFacts.crossings):
+                # only classes that actually traverse a shared uplink count.
+                classes = self._rt.network.topology.classes
+                fold = self._crossings_by_class
+                for dclass, n in by_class.items():
+                    if classes[dclass].shared_uplink:
+                        fold[dclass] = fold.get(dclass, 0) + n
 
     def _note_pending(self) -> None:
         """Sample pending garbage into the peak counter (cost-free)."""

@@ -170,6 +170,16 @@ class QSBRReclaimer(ReclaimerBase):
         self._interval += 1
         if freed:
             self._reclaims += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.reclaim(
+                "advance",
+                self.scheme,
+                ctx.clock.now,
+                interval=self._interval,
+                min_seen=min_seen,
+                freed=freed,
+            )
         self._policy_tick()
         return freed > 0
 

@@ -111,7 +111,15 @@ class ServicePoint:
     first-come-first-served election.
     """
 
-    __slots__ = ("name", "_lock", "next_free", "idle_bank", "busy_time", "served")
+    __slots__ = (
+        "name",
+        "_lock",
+        "next_free",
+        "idle_bank",
+        "busy_time",
+        "served",
+        "_tracer",
+    )
 
     def __init__(self, name: str = "") -> None:
         #: Human-readable identity for diagnostics output.
@@ -125,6 +133,10 @@ class ServicePoint:
         self.busy_time = 0.0
         #: Number of requests served.
         self.served = 0
+        #: Full-detail trace recorder, or None (the overwhelmingly common
+        #: case).  Installed by the runtime at trace detail ``full``; the
+        #: off cost is the single ``is None`` check in ``serve_locked``.
+        self._tracer = None
 
     def serve(self, arrival: float, service: float) -> float:
         """Admit a request arriving at ``arrival`` needing ``service`` seconds.
@@ -135,33 +147,10 @@ class ServicePoint:
         this is the single hottest function in the simulator — every
         charged operation passes through one or two serves.)
         """
-        # Body duplicated from serve_locked() (kept in sync): the extra
-        # method call would tax every read-path serve.
         lock = self._lock
         lock.acquire()
         try:
-            self.busy_time += service
-            self.served += 1
-            next_free = self.next_free
-            if arrival >= next_free:
-                # Server idle at arrival: bank the gap, run immediately.
-                self.idle_bank += arrival - next_free
-                self.next_free = finish = arrival + service
-                return finish
-            bank = self.idle_bank
-            if bank >= service:
-                # Fits in a past idle gap: no effect on the tail.
-                self.idle_bank = bank - service
-                return arrival + service
-            # Bank exhausted: genuine saturation — queue at the tail for
-            # the un-banked remainder, but never finish earlier than the
-            # request's own arrival + service.
-            self.idle_bank = 0.0
-            finish = next_free + (service - bank)
-            if finish < arrival + service:
-                finish = arrival + service
-            self.next_free = finish
-            return finish
+            return self.serve_locked(arrival, service)
         finally:
             lock.release()
 
@@ -172,6 +161,10 @@ class ServicePoint:
         reserve the line *and* commit the value in one critical section
         (one lock cycle per mutating op instead of two); this entry point
         lets them run the reservation without re-acquiring.
+
+        This is the one place every serve passes through — ``serve``
+        delegates here, and the compiled engine inlines the same
+        recurrence in its ledgers — so the trace hook lands exactly once.
         """
         self.busy_time += service
         self.served += 1
@@ -180,20 +173,24 @@ class ServicePoint:
             # Server idle at arrival: bank the gap, run immediately.
             self.idle_bank += arrival - next_free
             self.next_free = finish = arrival + service
-            return finish
-        bank = self.idle_bank
-        if bank >= service:
-            # Fits in a past idle gap: no effect on the tail.
-            self.idle_bank = bank - service
-            return arrival + service
-        # Bank exhausted: genuine saturation — queue at the tail for
-        # the un-banked remainder, but never finish earlier than the
-        # request's own arrival + service.
-        self.idle_bank = 0.0
-        finish = next_free + (service - bank)
-        if finish < arrival + service:
-            finish = arrival + service
-        self.next_free = finish
+        else:
+            bank = self.idle_bank
+            if bank >= service:
+                # Fits in a past idle gap: no effect on the tail.
+                self.idle_bank = bank - service
+                finish = arrival + service
+            else:
+                # Bank exhausted: genuine saturation — queue at the tail
+                # for the un-banked remainder, but never finish earlier
+                # than the request's own arrival + service.
+                self.idle_bank = 0.0
+                finish = next_free + (service - bank)
+                floor = arrival + service
+                if finish < floor:
+                    finish = floor
+                self.next_free = finish
+        if self._tracer is not None:
+            self._tracer.serve(self, arrival, service, finish)
         return finish
 
     def reset(self) -> None:

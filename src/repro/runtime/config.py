@@ -124,6 +124,18 @@ class RuntimeConfig:
         results are bit-identical either way — the knob trades wall-clock
         only.  Generators without a compiled lowering silently fall back
         to the interpreter.
+    trace:
+        Observability detail (see :mod:`repro.obs` and
+        docs/OBSERVABILITY.md): ``"off"`` (the default — no recorder
+        installed, hot paths pay at most one attribute check),
+        ``"spans"`` (root-driven phase/policy/reclaim events), or
+        ``"full"`` (adds per-op charges, ServicePoint serves, uplink
+        batches, and guard events; forces inline-serial task execution
+        for a canonical schedule — virtual time is unchanged by the
+        pool-size-invariance contract).  Like ``engine``, this is a
+        machine-style knob that is deliberately NOT a machine axis: it
+        never changes virtual results and is never recorded in
+        baselines.
     policy:
         Virtual-time policy axis (see :mod:`repro.policy` and
         docs/POLICY.md): one spec string naming an epoch-advance policy
@@ -150,6 +162,7 @@ class RuntimeConfig:
     aggregation: Any = 1
     engine: str = "interpreted"
     policy: Any = "fixed"
+    trace: str = "off"
 
     def __post_init__(self) -> None:
         if self.num_locales < 1:
@@ -171,6 +184,12 @@ class RuntimeConfig:
             )
         # Normalize string network names passed positionally.
         object.__setattr__(self, "network", NetworkType.parse(self.network))
+        # The trace knob is validated here, not via MachineAxes: like
+        # `engine` it can never change virtual results, so it must never
+        # become part of the recorded machine identity.
+        from ..obs import parse_trace
+
+        object.__setattr__(self, "trace", parse_trace(self.trace))
         # Resolve (and thereby validate) every machine axis eagerly
         # through the shared spec layer (:mod:`repro.runtime.axes`); the
         # bundle is cached outside the dataclass fields so replace()
@@ -230,6 +249,7 @@ class RuntimeConfig:
         aggregation: Any = 1,
         engine: str = "interpreted",
         policy: Any = "fixed",
+        trace: str = "off",
     ) -> "RuntimeConfig":
         """Build a config from declarative topology primitives.
 
@@ -259,6 +279,7 @@ class RuntimeConfig:
             aggregation=aggregation,
             engine=engine,
             policy=policy,
+            trace=trace,
         )
 
     @property

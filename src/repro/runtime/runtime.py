@@ -135,6 +135,26 @@ class Runtime:
         self.config = config
         #: The cost/diagnostics engine shared by every operation.
         self.network = NetworkModel(config)
+        #: The virtual-time flight recorder (docs/OBSERVABILITY.md), or
+        #: None when ``config.trace == "off"`` — the common case, in which
+        #: no traced path pays more than one attribute check.
+        self._tracer = None
+        #: The recorder again iff the detail is ``full`` (per-op events).
+        self._full_tracer = None
+        #: Full-detail tracing forces the canonical inline-serial task
+        #: schedule (see TaskGroup.spawn) so per-serve micro-values are
+        #: deterministic; virtual time is unchanged by the pool-size
+        #: invariance contract.
+        self._inline_tasks = False
+        if config.trace != "off":
+            from ..obs import TraceRecorder
+
+            tracer = TraceRecorder(config.num_locales, config.trace)
+            self._tracer = tracer
+            if tracer.wants_full:
+                self._full_tracer = tracer
+                self._inline_tasks = True
+                self.network.install_tracer(tracer)
         #: The simulated nodes.
         self.locales: List[Locale] = [
             Locale(i, config) for i in range(config.num_locales)
@@ -422,6 +442,8 @@ class Runtime:
         ctx = current_context()
         ids = list(range(self.num_locales)) if locales is None else list(locales)
         costs = self.config.costs
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
         # Per-hop spawn cost reflects the worst distance class the
         # broadcast tree spans (flat: exactly task_spawn_remote).
         overhead = spawn_tree_overhead(
@@ -439,6 +461,8 @@ class Runtime:
         finish = group.join()
         ctx.clock.advance_to(finish)
         ctx.clock.advance(costs.task_join)
+        if tr is not None:
+            tr.span("coforall", t0, ctx.clock.now, tasks=len(ids))
 
     def forall(
         self,
@@ -473,6 +497,8 @@ class Runtime:
         data = list(items)
         tpl = tasks_per_locale or self.config.tasks_per_locale
         nloc = self.num_locales
+        tr = self._tracer
+        t0 = ctx.clock.now if tr is not None else 0.0
 
         per_locale: List[List[T]] = [[] for _ in range(nloc)]
         if owner_of is None:
@@ -530,6 +556,10 @@ class Runtime:
         finish = group.join()
         ctx.clock.advance_to(finish)
         ctx.clock.advance(costs.task_join)
+        if tr is not None:
+            # The compiled executor emits the identical event from its
+            # phase replay (engine/executor.py) — field-for-field.
+            tr.span("forall", t0, ctx.clock.now, tasks=total_tasks, items=len(data))
 
     # ------------------------------------------------------------------
     # measurement
@@ -547,9 +577,15 @@ class Runtime:
         timer.start = ctx.clock.now
         yield timer
         timer.elapsed = ctx.clock.now - timer.start
+        tr = self._tracer
+        if tr is not None:
+            tr.span("timed", timer.start, ctx.clock.now)
 
     def reset_measurements(self) -> None:
-        """Zero network counters and service points (between bench trials)."""
+        """Zero network counters and service points (between bench trials).
+
+        The network layer also resets the flight recorder's per-point
+        idle-bank memory so post-reset ``dbank`` deltas restart from 0."""
         self.network.reset_measurements()
 
     def comm_totals(self) -> Dict[str, int]:

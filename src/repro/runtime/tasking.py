@@ -249,7 +249,8 @@ class TaskGroup:
         """
         if self._joined:
             raise RuntimeStateError("TaskGroup already joined")
-        if self._pool is None:
+        inline = self._rt._inline_tasks
+        if self._pool is None and not inline:
             self._pool = self._rt._worker_pool()
         clock = TaskClock(start_time)
         self._clocks.append(clock)
@@ -263,6 +264,17 @@ class TaskGroup:
         ctx.rng.seed((self._rt.config.seed << 20) ^ task_id)
         with self._lock:
             self._pending += 1
+        if inline:
+            # Canonical serial schedule (trace detail "full"): run the
+            # task right here, in spawn-submission order — the schedule
+            # the compiled engine replays.  Virtual time is unchanged by
+            # the pool-size-invariance contract; per-serve micro-values
+            # become schedule-independent facts.  context_scope nests, so
+            # tasks spawning tasks compose; errors surface at join() as
+            # usual via _record_error.
+            _WorkItem(fn, args, ctx, self).run()
+            self._spawned += 1
+            return
         try:
             self._pool.submit(_WorkItem(fn, args, ctx, self))
         except BaseException:
