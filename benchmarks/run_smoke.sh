@@ -10,7 +10,9 @@
 # speedup is recorded for the trajectory).  The benchmark measures both
 # execution engines (interpreted and compiled — docs/ENGINE.md) and
 # fails if they diverge on virtual results; the scenario check then
-# re-verifies every registered baseline under the compiled engine.
+# re-verifies every registered baseline under ``compiled-strict`` —
+# the registry is fully lowered, so any interpreter fallback is a
+# regression and fails the gate outright.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +26,33 @@ echo "== engine wall-clock benchmark (quick, both engines) =="
 python benchmarks/bench_wallclock.py --quick
 
 echo
-echo "== scenario baselines under the compiled engine =="
-python -m repro.bench scenarios --all --engine compiled --out /tmp/smoke_scenarios_compiled.json
+echo "== benchmark report sanity (engine labeling + reclaim coverage) =="
+python - <<'EOF'
+import json
+
+report = json.load(open("BENCH_wallclock.json"))
+workloads = report["workloads"]
+# The reclaim shapes must be in the two-engine matrix with a recorded
+# compiled-vs-interpreted speedup — the quantity the compiled lowering
+# of the epoch rounds is accountable to.
+for name in ("reclaim_sparse", "reclaim_dense", "fig7_readonly"):
+    entry = workloads[name]
+    speedup = entry["compiled_vs_interpreted_speedup"]
+    assert speedup > 0, f"{name}: bogus speedup {speedup!r}"
+    assert entry["engine"]["effective"] == "compiled", (
+        f"{name}: effective engine {entry['engine']['effective']!r}"
+    )
+    assert entry["fallback_count"] == 0, (
+        f"{name}: {entry['fallback_count']} fallback(s): "
+        f"{entry['engine'].get('fallbacks')}"
+    )
+    print(f"{name}: compiled-vs-interpreted {speedup:.2f}x, no fallbacks")
+EOF
+
+echo
+echo "== scenario baselines under compiled-strict (zero fallbacks) =="
+python -m repro.bench scenarios --all --engine compiled-strict \
+  --out /tmp/smoke_scenarios_compiled.json
 
 echo
 echo "smoke gate OK — see BENCH_wallclock.json"

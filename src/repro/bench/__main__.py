@@ -29,8 +29,12 @@ Scenario mode (see :mod:`repro.bench.scenarios` and docs/SCENARIOS.md)::
     python -m repro.bench scenarios --run hotspot-zipf --trace full --trace-out t.json
 
 ``--list --filter <substring>`` narrows the listing to scenarios whose
-name — or policy spec — contains the substring (the registry has grown
-past one screen).
+name, policy spec, or compiled-coverage tier contains the substring (the
+registry has grown past one screen).  The listing's ``compiled`` column
+is computed from :func:`repro.bench.scenarios.compiled_coverage` — e.g.
+``--filter columnar`` shows every scenario the compiled engine replays
+from lowered columns, ``--filter interpreted`` every one that still
+falls back.
 
 ``--reclaimer {ebr,hp,qsbr,ibr}`` overrides the memory-reclamation scheme
 of every selected scenario (see docs/RECLAMATION.md); the JSON report's
@@ -48,12 +52,15 @@ reports ``incomparable`` instead of pretending to compare.  None of them
 can be combined with ``--update-baselines`` (a scenario's baseline pins
 the machine it was registered with).
 
-``--engine {interpreted,compiled}`` selects the workload execution engine
-(docs/ENGINE.md).  It is *not* a machine axis: compiled execution is
-bit-identical to interpreted by contract, so baselines verify unchanged
-under either engine and the flag composes with ``--update-baselines`` —
-running ``--all --engine compiled`` is the cheap way to re-verify every
-baseline.
+``--engine {interpreted,compiled,compiled-strict}`` selects the workload
+execution engine (docs/ENGINE.md).  It is *not* a machine axis: compiled
+execution is bit-identical to interpreted by contract, so baselines
+verify unchanged under either engine and the flag composes with
+``--update-baselines`` — running ``--all --engine compiled`` is the
+cheap way to re-verify every baseline.  ``compiled-strict`` additionally
+turns any silent fallback to the interpreter into an error (CI runs it
+over the lowered set); each report entry's ``engine`` block records the
+configured engine, the *effective* engine, and any per-phase fallbacks.
 
 ``--trace {off,spans,full}`` turns on the virtual-time flight recorder
 (docs/OBSERVABILITY.md).  Like ``--engine`` it is *not* a machine axis:
@@ -131,8 +138,8 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
         "--filter",
         metavar="SUBSTRING",
         default=None,
-        help="with --list: only show scenarios whose name contains"
-        " SUBSTRING (case-insensitive)",
+        help="with --list: only show scenarios whose name, policy spec, or"
+        " compiled-coverage tier contains SUBSTRING (case-insensitive)",
     )
     ap.add_argument(
         "--reclaimer",
@@ -270,6 +277,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
 
     if args.list:
         specs = list(scenarios.iter_scenarios())
+        coverage = {s.name: scenarios.compiled_coverage(s) for s in specs}
         if args.filter is not None:
             needle = args.filter.lower()
             specs = [
@@ -277,6 +285,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
                 for s in specs
                 if needle in s.name.lower()
                 or needle in s.topology.policy.lower()
+                or needle in coverage[s.name]
             ]
             print(
                 f"{len(specs)} of {len(scenarios.scenario_names())}"
@@ -288,7 +297,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             print(f"{len(specs)} registered scenarios:\n")
         header = (
             f"  {'name':24s} {'workload':16s} {'machine':7s} {'net':5s}"
-            f" {'topology':12s} {'costs':8s} {'policy':12s}"
+            f" {'topology':12s} {'costs':8s} {'policy':12s} {'compiled':11s}"
         )
         print(header)
         print("  " + "-" * (len(header) - 2))
@@ -301,7 +310,7 @@ def scenario_main(argv: "Sequence[str] | None" = None) -> int:
             line = (
                 f"  {spec.name:24s} {spec.workload.kind:16s}"
                 f" {machine:7s} {topo.network:5s} {topo.topology:12s}"
-                f" {costs:8s} {topo.policy:12s}"
+                f" {costs:8s} {topo.policy:12s} {coverage[spec.name]:11s}"
             )
             if topo.reclaimer != "ebr":
                 line += f" rec={topo.reclaimer}"

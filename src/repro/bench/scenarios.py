@@ -70,6 +70,7 @@ from typing import (
 from ..comm.aggregation import parse_aggregation
 from ..comm.costs import resolve_cost_model
 from ..comm.topology import parse_topology
+from ..engine import compiled_plan, engine_summary
 from ..errors import ReproError
 from ..obs import MetricsRegistry, parse_trace
 from ..policy import parse_policy
@@ -111,6 +112,7 @@ __all__ = [
     "run_scenario_grid",
     "build_report",
     "load_baselines",
+    "compiled_coverage",
 ]
 
 
@@ -653,10 +655,15 @@ class ScenarioRun:
     #: Flight-recorder event stream (``topology.trace != "off"`` only);
     #: feed it to :func:`repro.obs.write_trace` for Perfetto/JSONL export.
     trace_events: Optional[List[Dict[str, Any]]] = None
+    #: Effective-engine record (:func:`repro.engine.engine_summary`):
+    #: what the configured engine actually did, phase by phase — kept out
+    #: of ``result.extra`` because virtual results (the bit-identity
+    #: contract) must not vary by engine.
+    engine: Optional[Dict[str, Any]] = None
 
     def report_entry(self) -> Dict[str, Any]:
         """The JSON shape :func:`build_report` aggregates."""
-        return {
+        entry = {
             "description": self.spec.description,
             "topology": self.spec.topology.as_dict(),
             "workload": self.spec.workload.as_dict(),
@@ -669,6 +676,9 @@ class ScenarioRun:
             "wall_seconds": self.wall_seconds,
             "extra": _jsonable(self.result.extra),
         }
+        if self.engine is not None:
+            entry["engine"] = self.engine
+        return entry
 
 
 def _jsonable(value: Any) -> Any:
@@ -680,6 +690,29 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
+
+
+def compiled_coverage(spec: ScenarioSpec) -> str:
+    """The engine tier this scenario's workload gets under ``compiled``.
+
+    Computed from the same :func:`repro.engine.compiled_plan` predicate
+    the workload generators consult at run time — never hand-maintained —
+    so the ``scenarios --list`` coverage column cannot drift from what
+    the engine actually does.  Returns ``"columnar"``, ``"serial"`` or
+    ``"interpreted"``.
+    """
+    topo = spec.topology
+    params = spec.workload.resolved_params(spec.measure.ops_scale)
+    policy = parse_policy(topo.policy).make_epoch_policy()
+    tier, _reason = compiled_plan(
+        spec.workload.kind,
+        trace=topo.trace,
+        tasks_per_locale=topo.tasks_per_locale,
+        reclaim_every=params.get("reclaim_every"),
+        wants_pin_times=policy.wants_pin_times,
+        wants_retire_times=policy.wants_retire_times,
+    )
+    return tier
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
@@ -698,6 +731,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
     t0 = time.perf_counter()
     reference: Optional[WorkloadResult] = None
     reference_events: Optional[List[Dict[str, Any]]] = None
+    engine_info: Optional[Dict[str, Any]] = None
     for rep in range(spec.measure.repeats):
         with Runtime(config=spec.topology.runtime_config()) as rt:
             result = kind.runner(rt, spec.topology.tasks_per_locale, params)
@@ -705,6 +739,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
         if reference is None:
             reference = result
             reference_events = events
+            engine_info = engine_summary(rt)
         elif (
             result.elapsed != reference.elapsed
             or result.operations != reference.operations
@@ -734,6 +769,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
         result=reference,
         wall_seconds=time.perf_counter() - t0,
         trace_events=reference_events,
+        engine=engine_info,
     )
 
 

@@ -26,19 +26,27 @@ paper's series.
 from __future__ import annotations
 
 import bisect
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.atomic_object import AtomicObject
 from ..engine import (
+    compiled_plan,
     fast_randbelow,
     mix_column_fn,
+    note_phase,
+    run_alloc_phase,
     run_ebr_epoch_phase,
+    run_epoch_workload_phase,
+    run_guard_epoch_phase,
     run_uniform_atomic_phase,
+    serial_tasks,
     zipf_column_fn,
 )
 from ..memory.address import NIL, GlobalAddress
 from ..reclaim import make_reclaimer
+from ..runtime.axes import compiled_requested
 from ..runtime.runtime import Runtime
 
 __all__ = [
@@ -50,6 +58,36 @@ __all__ = [
     "run_producer_consumer",
     "run_multi_structure",
 ]
+
+
+def _phase_tier(rt: Runtime, kind: str, **shape: Any) -> str:
+    """Resolve a phase's execution tier under the runtime's engine.
+
+    Interpreted engines skip the whole machinery (no log entry — nothing
+    was asked for).  Compiled engines consult
+    :func:`~repro.engine.coverage.compiled_plan` with the runtime's
+    resolved trace detail plus the workload ``shape``, record the
+    effective tier on the runtime's engine log, and — under
+    ``compiled-strict`` — raise on any interpreter fallback.
+    """
+    if not compiled_requested(rt.config.engine):
+        return "interpreted"
+    tier, reason = compiled_plan(kind, trace=rt.config.trace, **shape)
+    return note_phase(rt, kind, tier, reason)
+
+
+def _policy_wants(rt: Runtime) -> Dict[str, bool]:
+    """The resolved policy's fact appetites, as ``compiled_plan`` kwargs.
+
+    A pin- or retire-time-tracking policy (grace — docs/POLICY.md) reads
+    virtual-time facts the columnar replay never records (it charges pins
+    without calling ``pin()``), so those shapes take the serial tier.
+    """
+    policy = rt.config.resolved_policy().make_epoch_policy()
+    return {
+        "wants_pin_times": policy.wants_pin_times,
+        "wants_retire_times": policy.wants_retire_times,
+    }
 
 
 def _reclaimer_for(rt: Runtime, manager_kwargs: Optional[Dict[str, Any]] = None):
@@ -119,20 +157,32 @@ def run_atomic_mix(
     ntasks = nloc * tasks_per_locale
     ncells = num_cells if num_cells is not None else max(64, 2 * ntasks)
 
-    if (
-        kind == "atomic_int"
-        and rt.config.engine == "compiled"
-        and rt.config.trace != "full"
-    ):
-        # Compiled lowering: the integer mix's op stream is one cell draw
-        # per op (all four mix ops charge the same narrow route), so the
-        # phase replays from target columns alone.  Cells are never
+    if _phase_tier(rt, "atomic_mix") == "columnar":
+        # Compiled lowering: every variant's op stream is one cell draw
+        # per op, so the phase replays from target columns alone (shared
+        # across kinds through the compilation cache — the draw stream is
+        # kind-independent).  Cells and operand objects are never
         # materialized — creating them charges nothing, and nothing
-        # observes them after the phase.  AtomicObject variants read
-        # values mid-stream and fall through to the interpreter below.
-        # Full-detail tracing takes the documented interpreter fallback
-        # (docs/OBSERVABILITY.md): the replay does not emit per-op events.
+        # observes them after the phase.  The integer mix charges one
+        # narrow route per op; the object bodies charge the cycle-
+        # dependent ``(1, 1, 2, 1)`` pattern (their CAS case is a read
+        # plus a CAS on the same cell) on the narrow (plain) or wide
+        # (ABA) route row.  Full-detail tracing takes the documented
+        # interpreter fallback (docs/OBSERVABILITY.md): the replay does
+        # not emit per-op events.
         def main_compiled() -> WorkloadResult:
+            if kind != "atomic_int":
+                # The interpreted object bodies allocate two operand
+                # objects per locale on the *root* clock before the
+                # measured window; replaying those alloc charges keeps
+                # the timed window's float base — and hence elapsed —
+                # bit-identical.
+                from ..runtime.context import current_context
+
+                ctx = current_context()
+                for lid in range(nloc):
+                    rt.network.alloc(ctx, lid)
+                    rt.network.alloc(ctx, lid)
             rt.reset_measurements()
             with rt.timed() as t:
                 run_uniform_atomic_phase(
@@ -140,6 +190,11 @@ def run_atomic_mix(
                     homes=[i % nloc for i in range(ncells)],
                     tasks_per_locale=tasks_per_locale,
                     column_fn=mix_column_fn(ops_per_task, ncells),
+                    op_charges=(
+                        None if kind == "atomic_int" else (1, 1, 2, 1)
+                    ),
+                    route_row=2 if kind == "atomic_object_aba" else 0,
+                    column_key=("mix", ops_per_task, ncells),
                 )
             return WorkloadResult(
                 elapsed=t.elapsed,
@@ -296,6 +351,22 @@ def run_epoch_workload(
     def main() -> WorkloadResult:
         em = _reclaimer_for(rt, manager_kwargs)
 
+        # Compiled lowering (docs/ENGINE.md): with one task per locale and
+        # no mid-phase ``tryReclaim`` the per-item charge stream is fixed
+        # for every scheme, so the forall replays columnar — in-task
+        # register/unregister run for real on the replayed task clocks.
+        # ``reclaim_every`` (schedule-scoped scan elections) and >1 task
+        # per locale (in-forall token reuse follows real arrival order)
+        # fall back; a pin/retire-time-tracking policy takes the serial
+        # tier (real bodies, canonical pool-size-1 schedule, exact facts).
+        tier = _phase_tier(
+            rt,
+            "epoch",
+            tasks_per_locale=tasks_per_locale,
+            reclaim_every=reclaim_every,
+            **_policy_wants(rt),
+        )
+
         # Pre-allocate the objects *outside* the timed region (the paper
         # randomizes placement before the loop).  Object i is iterated by
         # the task on locale (i % nloc); with probability remote_percent it
@@ -305,13 +376,24 @@ def run_epoch_workload(
             import random as _random
 
             rng = _random.Random(rt.config.seed ^ 0x9E3779B9)
+            # Same bit stream as randrange, minus the wrapper (opstream).
+            randbelow = fast_randbelow(rng)
+            targets: List[int] = []
             for i in range(num_objects):
                 owner = i % nloc
-                if nloc > 1 and rng.randrange(100) < remote_percent:
-                    target = (owner + 1 + rng.randrange(nloc - 1)) % nloc
+                if nloc > 1 and randbelow(100) < remote_percent:
+                    target = (owner + 1 + randbelow(nloc - 1)) % nloc
                 else:
                     target = owner
-                objs.append(rt.new_obj(object(), locale=target))
+                targets.append(target)
+            if tier != "interpreted":
+                # Same placements, same charges — replayed in one batch
+                # (the loop runs on the root clock before the timed
+                # window, so skipping the replay would shift the window's
+                # float base and perturb ``elapsed`` by an ulp).
+                objs = run_alloc_phase(rt, targets)
+            else:
+                objs = [rt.new_obj(object(), locale=tg) for tg in targets]
         else:
             objs = [NIL] * num_objects  # placeholders; body ignores them
 
@@ -340,13 +422,30 @@ def run_epoch_workload(
 
         rt.reset_measurements()
         with rt.timed() as t:
-            # owner_of omitted: default cyclic distribution == idx % nloc.
-            rt.forall(
-                range(num_objects),
-                body,
-                task_init=_TaskState,
-                tasks_per_locale=tasks_per_locale,
-            )
+            if tier == "columnar":
+                run_epoch_workload_phase(
+                    rt,
+                    em=em,
+                    objs=objs,
+                    num_objects=num_objects,
+                    delete=delete,
+                )
+            elif tier == "serial":
+                with serial_tasks(rt):
+                    rt.forall(
+                        range(num_objects),
+                        body,
+                        task_init=_TaskState,
+                        tasks_per_locale=tasks_per_locale,
+                    )
+            else:
+                # owner_of omitted: default cyclic distribution == idx % nloc.
+                rt.forall(
+                    range(num_objects),
+                    body,
+                    task_init=_TaskState,
+                    tasks_per_locale=tasks_per_locale,
+                )
             if cleanup_at_end:
                 em.clear()
         stats = em.stats()
@@ -510,15 +609,21 @@ def run_atomic_hotspot(
         cdf.append(acc)
     total_w = cdf[-1]
 
-    if (
-        cell == "atomic_int"
-        and rt.config.engine == "compiled"
-        and rt.config.trace != "full"
-    ):
+    if _phase_tier(rt, "atomic_hotspot") == "columnar":
         # Compiled lowering: same shape as the uniform mix — one CDF draw
-        # per op yields the target column; the op cycle shares one route.
+        # per op yields the target column (kind-independent, so the cache
+        # shares it between cell kinds); the object body adds the
+        # ``(1, 1, 2, 1)`` cycle charges on the same narrow route.
         # Full-detail tracing falls back to the interpreter (see above).
         def main_compiled() -> WorkloadResult:
+            if cell != "atomic_int":
+                # Root-clock operand allocations, as in the uniform mix.
+                from ..runtime.context import current_context
+
+                ctx = current_context()
+                for lid in range(nloc):
+                    rt.network.alloc(ctx, lid)
+                    rt.network.alloc(ctx, lid)
             rt.reset_measurements()
             with rt.timed() as t:
                 run_uniform_atomic_phase(
@@ -526,6 +631,12 @@ def run_atomic_hotspot(
                     homes=[i % nloc for i in range(num_cells)],
                     tasks_per_locale=tasks_per_locale,
                     column_fn=zipf_column_fn(ops_per_task, cdf, total_w),
+                    op_charges=(
+                        None if cell == "atomic_int" else (1, 1, 2, 1)
+                    ),
+                    column_key=(
+                        "zipf", ops_per_task, num_cells, zipf_exponent
+                    ),
                 )
             return WorkloadResult(
                 elapsed=t.elapsed,
@@ -631,22 +742,52 @@ def run_epoch_mixed(
     import random as _random
 
     table_rng = _random.Random(rt.config.seed ^ 0x5DEECE66D)
-    is_write = [table_rng.randrange(100) < write_percent for _ in range(num_items)]
+    # Same bit stream as randrange(100), minus the wrapper (opstream).
+    _rb = fast_randbelow(table_rng)
+    is_write = [_rb(100) < write_percent for _ in range(num_items)]
 
     def main() -> WorkloadResult:
         em = _reclaimer_for(rt, manager_kwargs)
 
+        # Every scheme's pin/defer/unpin round has a fixed charge stream
+        # (no mid-phase epoch/era/interval advances — reclamation is
+        # root-driven between rounds), so the rounds lower to a batch
+        # replay: EBR against the token/limbo/pool cells, hp/qsbr/ibr
+        # against the guard buffers (threshold scans run real — see
+        # repro.engine.executor).  A pin- or retire-time-tracking policy
+        # (grace — docs/POLICY.md) takes the serial tier instead: the
+        # columnar replay charges pins without calling ``pin()``, so the
+        # virtual-time facts the policy's decisions read would be missing;
+        # inline-serial execution runs the real bodies in the canonical
+        # pool-size-1 schedule and records them exactly.  Full-detail
+        # tracing stays the documented interpreter fallback
+        # (docs/OBSERVABILITY.md): no tier emits per-op events.
+        tier = _phase_tier(rt, "epoch_mixed", **_policy_wants(rt))
+
         objs: List[GlobalAddress] = [NIL] * num_items
         place_rng = _random.Random(rt.config.seed ^ 0x9E3779B9)
+        randbelow = fast_randbelow(place_rng)
+        alloc_idx: List[int] = []
+        targets: List[int] = []
         for i in range(num_items):
             if not is_write[i]:
                 continue
             owner = i % nloc
-            if nloc > 1 and place_rng.randrange(100) < remote_percent:
-                target = (owner + 1 + place_rng.randrange(nloc - 1)) % nloc
+            if nloc > 1 and randbelow(100) < remote_percent:
+                target = (owner + 1 + randbelow(nloc - 1)) % nloc
             else:
                 target = owner
-            objs[i] = rt.new_obj(object(), locale=target)
+            alloc_idx.append(i)
+            targets.append(target)
+        if tier != "interpreted":
+            # Batch-replay the placement allocations (run_alloc_phase):
+            # same root-clock charges, so the timed window starts on the
+            # same float base as the interpreted loop.
+            for i, addr in zip(alloc_idx, run_alloc_phase(rt, targets)):
+                objs[i] = addr
+        else:
+            for i, tg in zip(alloc_idx, targets):
+                objs[i] = rt.new_obj(object(), locale=tg)
 
         bank = _TokenBank(rt, em, tasks_per_locale)
 
@@ -662,26 +803,7 @@ def run_epoch_mixed(
         # placement above (remote_percent) is defined against.
         bounds = [num_items * r // rounds // nloc * nloc for r in range(rounds)]
         bounds.append(num_items)
-        # The EBR pin/defer/unpin round has a fixed charge stream (no
-        # mid-phase epoch advances — reclamation is root-driven between
-        # rounds), so it lowers to a batch replay; the scan-based schemes
-        # (hp/qsbr/ibr list traversals) stay interpreted.  A pin-time-
-        # tracking epoch policy (grace — docs/POLICY.md) also forces the
-        # interpreter: the replay charges pins without calling Token.pin,
-        # so it would never record the virtual pin times the policy's
-        # decisions read, and the two engines would diverge.  The same
-        # argument covers retire-time-tracking policies (the replay never
-        # calls Token.defer_delete, so limbo-age facts would be missing)
-        # and full-detail tracing (the replay emits no per-op events —
-        # the documented interpreter fallback of docs/OBSERVABILITY.md).
-        _policy = rt.config.resolved_policy().make_epoch_policy()
-        compiled = (
-            rt.config.engine == "compiled"
-            and rt.config.reclaimer == "ebr"
-            and rt.config.trace != "full"
-            and not _policy.wants_pin_times
-            and not _policy.wants_retire_times
-        )
+        scheme = rt.config.reclaimer
         advances = 0
         rt.reset_measurements()
         with rt.timed() as t:
@@ -689,7 +811,7 @@ def run_epoch_mixed(
                 chunk = range(bounds[r], bounds[r + 1])
                 if len(chunk) == 0:
                     continue
-                if compiled:
+                if tier == "columnar" and scheme == "ebr":
                     run_ebr_epoch_phase(
                         rt,
                         items=chunk,
@@ -698,6 +820,24 @@ def run_epoch_mixed(
                         tokens=bank._tokens,
                         tokens_per_locale=tasks_per_locale,
                     )
+                elif tier == "columnar":
+                    run_guard_epoch_phase(
+                        rt,
+                        scheme=scheme,
+                        items=chunk,
+                        is_write=is_write,
+                        objs=objs,
+                        guards=bank._tokens,
+                        guards_per_locale=tasks_per_locale,
+                    )
+                elif tier == "serial":
+                    with serial_tasks(rt):
+                        rt.forall(
+                            chunk,
+                            body,
+                            task_init=bank.task_init,
+                            tasks_per_locale=tasks_per_locale,
+                        )
                 else:
                     rt.forall(
                         chunk,
@@ -862,9 +1002,16 @@ def run_producer_consumer(
                     s.try_pop(tok)
                     tok.unpin()
 
+        # Structure traversals are value-dependent (CAS loops over live
+        # heads), so churn never lowers to columns — but the shape is
+        # pool-size-deterministic, so the compiled engine runs the whole
+        # timed region on the serial tier (inline tasks, the canonical
+        # pool-size-1 schedule; see repro.engine.coverage).
+        tier = _phase_tier(rt, "churn")
+        engine_scope = serial_tasks(rt) if tier == "serial" else nullcontext()
         advances = 0
         rt.reset_measurements()
-        with rt.timed() as t:
+        with rt.timed() as t, engine_scope:
             for _ in range(rounds):
                 rt.forall(
                     range(ntasks),
@@ -966,9 +1113,14 @@ def run_multi_structure(
             ops_per_slot * ops_per_cycle + ops_per_slot // 2
         )
 
+        # Hand-over-hand bucket walks and structure CAS loops keep this
+        # off the columnar tier; the serial tier (inline tasks) covers it
+        # for the compiled engines (see repro.engine.coverage).
+        tier = _phase_tier(rt, "multi_structure")
+        engine_scope = serial_tasks(rt) if tier == "serial" else nullcontext()
         advances = 0
         rt.reset_measurements()
-        with rt.timed() as t:
+        with rt.timed() as t, engine_scope:
             for _ in range(rounds):
                 rt.forall(
                     range(ntasks),

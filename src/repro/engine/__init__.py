@@ -1,21 +1,34 @@
 """Batch-compiled workload execution (the ``engine = "compiled"`` axis).
 
-Two halves (see docs/ENGINE.md):
+Four pieces (see docs/ENGINE.md):
 
 * :mod:`repro.engine.opstream` — the columnar IR: lowering a task's fixed
   op stream into per-op target columns ahead of the run.
-* :mod:`repro.engine.executor` — the serial replay engine: borrows every
-  ``ServicePoint`` on the phase's routes into plain lists, replays the
-  spawn-submission (pool-size-1) schedule with the ``serve_locked``
-  recurrence inlined, and writes reservations, diag stripes and reclaim
-  state back at phase exit.  Bit-identical to the interpreter by
+* :mod:`repro.engine.executor` — the replay engine.  The *columnar* tier
+  borrows every ``ServicePoint`` on the phase's routes into plain lists,
+  replays the spawn-submission (pool-size-1) schedule with the
+  ``serve_locked`` recurrence inlined, and writes reservations, diag
+  stripes and reclaim state back at phase exit; the *serial* tier runs
+  real task bodies inline in the same canonical schedule for
+  value-dependent phases.  Bit-identical to the interpreter by
   construction; wall-clock only.
+* :mod:`repro.engine.coverage` — the one predicate deciding which tier a
+  workload shape gets, the per-runtime effective-engine log, and the
+  ``compiled-strict`` fallback-is-an-error enforcement.
+* :mod:`repro.engine.cache` — the cross-run compilation cache sharing
+  lowered columns across ``--repeats`` and grid-runner runtimes.
 """
 
+from .cache import COLUMN_CACHE, CompilationCache
+from .coverage import EngineLog, compiled_plan, engine_summary, note_phase
 from .executor import (
     NotCompilable,
+    run_alloc_phase,
     run_ebr_epoch_phase,
+    run_epoch_workload_phase,
+    run_guard_epoch_phase,
     run_uniform_atomic_phase,
+    serial_tasks,
 )
 from .opstream import (
     fast_randbelow,
@@ -27,8 +40,18 @@ from .opstream import (
 
 __all__ = [
     "NotCompilable",
+    "serial_tasks",
+    "run_alloc_phase",
     "run_uniform_atomic_phase",
     "run_ebr_epoch_phase",
+    "run_guard_epoch_phase",
+    "run_epoch_workload_phase",
+    "compiled_plan",
+    "EngineLog",
+    "note_phase",
+    "engine_summary",
+    "CompilationCache",
+    "COLUMN_CACHE",
     "fast_randbelow",
     "mix_column",
     "mix_column_fn",

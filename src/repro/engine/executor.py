@@ -37,17 +37,47 @@ reclaim stats are, and those round-trip exactly.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from random import Random
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..runtime.context import current_context
+from ..runtime.clock import TaskClock
+from ..runtime.context import TaskContext, context_scope, current_context
 from ..runtime.tasking import spawn_tree_overhead
+from .cache import COLUMN_CACHE
 
 __all__ = [
     "NotCompilable",
+    "serial_tasks",
+    "run_alloc_phase",
     "run_uniform_atomic_phase",
     "run_ebr_epoch_phase",
+    "run_guard_epoch_phase",
+    "run_epoch_workload_phase",
 ]
+
+
+@contextmanager
+def serial_tasks(rt):
+    """The compiled engine's *serial* tier: inline spawned tasks.
+
+    Value-dependent phases (structure traversals, CAS retry loops) cannot
+    be lowered to charge columns, but every generator in the registry is
+    pool-size-deterministic — so running its tasks inline on the spawning
+    thread, in spawn-submission order (the canonical pool-size-1
+    schedule), is bit-identical while skipping the worker-pool handoffs,
+    queue locks and TLS churn entirely.  This reuses the exact inline
+    path full-detail tracing already exercises
+    (:meth:`~repro.runtime.tasking.TaskGroup.spawn` with
+    ``rt._inline_tasks``), restored on exit so untimed surrounding code
+    keeps the configured behavior.
+    """
+    prev = rt._inline_tasks
+    rt._inline_tasks = True
+    try:
+        yield
+    finally:
+        rt._inline_tasks = prev
 
 
 class NotCompilable(RuntimeError):
@@ -142,6 +172,63 @@ def _writeback_diags(diags, diag_counts: List[List[int]]) -> None:
                 row[index] += n
 
 
+def run_alloc_phase(rt, targets: Sequence[int]) -> List[Any]:
+    """Replay a root-task allocation loop: one ``rt.new_obj(object(),
+    locale=home)`` per entry of ``targets``, in order.
+
+    The heap allocations happen for real (the objects must exist for the
+    retire/free paths that follow), but the per-object network charge —
+    an AM round trip to a non-coherent home plus the allocator latency
+    (:meth:`repro.comm.network.Network.alloc`) — replays against borrowed
+    control-plane points with the serve recurrence inlined.  The epoch
+    workloads pre-place thousands of objects on the root clock before
+    their timed region; replaying that loop keeps the timed window's
+    float base (and hence ``elapsed``) bit-identical while skipping the
+    per-call context/tracer/dispatch overhead.
+
+    Only valid when no full-detail tracer is installed (full tracing
+    falls back to the interpreter before any executor runs), since the
+    interpreted path would emit per-op ``alloc``/``am`` events.
+    """
+    ctx = current_context()
+    net = rt.network
+    lid = ctx.locale_id
+    alloc_latency = rt.config.costs.alloc_latency
+    ledger = _PointLedger()
+    # Per-home recipe: None for coherent homes (allocator cost only),
+    # else the AM round-trip's (latency, borrowed point, service).
+    plans: List[Optional[tuple]] = []
+    heaps = []
+    for home in range(rt.num_locales):
+        heaps.append(rt.locale(home).heap)
+        dclass = net.distance_row(home)[lid]
+        ctrl = net._ctrl_routes(home)[dclass]
+        if ctrl is None:
+            plans.append(None)
+        else:
+            point, cc = ctrl
+            plans.append((2.0 * cc.am_latency, ledger.state(point), cc.am_service))
+
+    now = ctx.clock.now
+    n_am = 0
+    out: List[Any] = []
+    append = out.append
+    for home in targets:
+        plan = plans[home]
+        if plan is not None:
+            latency, pst, service = plan
+            n_am += 1
+            now = _serve(pst, now + latency, service)
+        now += alloc_latency
+        append(heaps[home].alloc(object()))
+    ctx.clock.now = now
+    ledger.writeback()
+    diags = net.diags
+    if n_am and diags._enabled:
+        diags._rows()[lid][diags.op_index("am")] += n_am
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Uniform narrow-atomic phases (atomic mix, hotspot)
 # ---------------------------------------------------------------------------
@@ -153,15 +240,32 @@ def run_uniform_atomic_phase(
     homes: Sequence[int],
     tasks_per_locale: int,
     column_fn,
+    op_charges: Optional[Sequence[int]] = None,
+    route_row: int = 0,
+    column_key: Optional[tuple] = None,
 ) -> None:
-    """Replay one ``forall(range(nloc * tpl), body)`` of narrow atomic ops.
+    """Replay one ``forall(range(nloc * tpl), body)`` of uniform atomic ops.
 
     ``homes[ci]`` is the home locale of cell ``ci``; ``column_fn(rng)``
     lowers one task's op stream into a column of cell indices (see
-    :mod:`repro.engine.opstream`).  Every op charges the cell's
+    :mod:`repro.engine.opstream`).  By default every op charges the cell's
     narrow-plain route for the issuing locale's distance class — the
     route any of read/write/CAS/exchange charges on an ``AtomicInt64`` —
     so only the target cell per op needs materializing.
+
+    ``route_row`` selects the route-cube row instead (2 = wide, the
+    ``AtomicObject`` ABA variants' 128-bit route), and ``op_charges`` maps
+    the op cycle position (``op_i & 3``) to a charge count per op: the
+    object bodies' CAS case is a read *then* a CAS on the same cell, two
+    consecutive charges on one route — ``(1, 1, 2, 1)`` — while the
+    integer mix stays on the uniform one-charge fast path (``None``).
+
+    ``column_key`` enables the cross-run compilation cache: per-task RNG
+    streams are a pure function of ``(config seed, task id)`` and task
+    ids are handed out consecutively here, so the lowered columns are
+    memoized in :data:`~repro.engine.cache.COLUMN_CACHE` keyed by
+    ``(column_key, seed, first task id, task count)`` and shared across
+    ``--repeats`` and grid-runner runtimes.
 
     The cells themselves are *virtual*: each gets a fresh
     ``[0.0, 0.0, ...]`` line state (a brand-new ``ServicePoint`` starts
@@ -178,16 +282,18 @@ def run_uniform_atomic_phase(
     # ---- compile: per-(locale, cell) charge plans from the route cube --
     ledger = _PointLedger()
     lines = [[0.0, 0.0, 0.0, 0] for _ in range(ncells)]
-    narrow_by_home: Dict[int, tuple] = {}
+    row_by_home: Dict[int, tuple] = {}
     dist_by_home: Dict[int, tuple] = {}
     plans_by_locale: List[list] = []
     for locale in range(nloc):
         plans = []
         for ci in range(ncells):
             home = homes[ci]
-            row = narrow_by_home.get(home)
+            row = row_by_home.get(home)
             if row is None:
-                row = narrow_by_home[home] = net.atomic_class_routes(home)[0]
+                row = row_by_home[home] = net.atomic_class_routes(home)[
+                    route_row
+                ]
                 dist_by_home[home] = net.distance_row(home)
             route = row[dist_by_home[home][locale]]
             point_state = (
@@ -217,17 +323,50 @@ def run_uniform_atomic_phase(
     record = diags._enabled
     diag_counts = [[0] * 9 for _ in range(nloc)]
 
+    # Task ids are consecutive (nothing else allocates between phases'
+    # replay loops), which is what makes the column-cache key sound.
+    task_ids = [rt._next_task_id() for _ in range(total_tasks)]
+
+    def _build_columns() -> List[list]:
+        cols = []
+        for tid in task_ids:
+            rng = Random()
+            rng.seed(seed_base ^ tid)
+            cols.append(column_fn(rng))
+        return cols
+
+    if column_key is not None:
+        columns = COLUMN_CACHE.get_or_build(
+            (column_key, rt.config.seed, task_ids[0], total_tasks),
+            _build_columns,
+        )
+    else:
+        columns = _build_columns()
+
     # ---- replay: spawn-submission order == the pool-size-1 schedule ----
     finish = start
+    ti = 0
     for locale in range(nloc):
         plans = plans_by_locale[locale]
         deltas = diag_counts[locale]
         for _w in range(tpl):
-            task_id = rt._next_task_id()
-            rng = Random()
-            rng.seed(seed_base ^ task_id)
-            column = column_fn(rng)
+            column = columns[ti]
+            ti += 1
             now = start
+            if op_charges is not None:
+                # Cycle-position-dependent charge counts (the object
+                # bodies): per op, 1-2 consecutive charges on one route.
+                for op_i, ci in enumerate(column):
+                    plan = plans[ci]
+                    reps = op_charges[op_i & 3]
+                    now = _charge(plan, now)
+                    if reps == 2:
+                        now = _charge(plan, now)
+                    if record:
+                        deltas[plan[5]] += reps
+                if now > finish:
+                    finish = now
+                continue
             for ci in column:
                 latency, pst, ps, lst, ls, _di = plans[ci]
                 t = now + latency
@@ -456,37 +595,104 @@ def run_ebr_epoch_phase(
         ntasks = ntasks_by_locale[locale]
         il = by_locale_inst[locale]
         ie_plan, lm_plan, pl_plan = il.plans_for(net, locale, ledger)
-        ie_di = ie_plan[5]
-        lm_di = lm_plan[5]
+        # The item loop below is the engine's hottest path (4–8 charges
+        # per item, millions of items per bench run), so each plan is
+        # unpacked into locals, ``_charge`` is inlined at every site, and
+        # each serve inlines the idle-point fast branch of ``_serve``
+        # (``arrival >= next_free``: bank the gap, advance ``next_free``)
+        # — the same float ops in the same order — calling ``_serve``
+        # only when the point is queued.
+        ie_lat, ie_pst, ie_ps, ie_lst, ie_ls, ie_di = ie_plan
+        lm_lat, lm_pst, lm_ps, lm_lst, lm_ls, lm_di = lm_plan
         pool = il.pool
         if pool is not None:
-            pl_di = pl_plan[5]
+            pl_lat, pl_pst, pl_ps, pl_lst, pl_ls, pl_di = pl_plan
         deltas = diag_counts[locale]
         for w in range(ntasks):
             task_id = rt._next_task_id()
             tok = tokens[locale][task_id % tpl]
             used_tokens.append(tok)
             tk_plan = _narrow_plan(net, tok.local_epoch, locale, ledger)
-            tk_di = tk_plan[5]
+            tk_lat, tk_pst, tk_ps, tk_lst, tk_ls, tk_di = tk_plan
             now = start
             for item in chunk[w::ntasks]:
                 # pin(): inst-epoch read, token write, revalidation read.
-                now = _charge(ie_plan, now)
-                now = _charge(tk_plan, now)
-                now = _charge(ie_plan, now)
+                t = now + ie_lat
+                if ie_pst is not None:
+                    if t >= ie_pst[0]:
+                        ie_pst[2] += ie_ps
+                        ie_pst[3] += 1
+                        ie_pst[1] += t - ie_pst[0]
+                        t += ie_ps
+                        ie_pst[0] = t
+                    else:
+                        t = _serve(ie_pst, t, ie_ps)
+                if t >= ie_lst[0]:
+                    ie_lst[2] += ie_ls
+                    ie_lst[3] += 1
+                    ie_lst[1] += t - ie_lst[0]
+                    now = t + ie_ls
+                    ie_lst[0] = now
+                else:
+                    now = _serve(ie_lst, t, ie_ls)
+                t = now + tk_lat
+                if tk_pst is not None:
+                    if t >= tk_pst[0]:
+                        tk_pst[2] += tk_ps
+                        tk_pst[3] += 1
+                        tk_pst[1] += t - tk_pst[0]
+                        t += tk_ps
+                        tk_pst[0] = t
+                    else:
+                        t = _serve(tk_pst, t, tk_ps)
+                if t >= tk_lst[0]:
+                    tk_lst[2] += tk_ls
+                    tk_lst[3] += 1
+                    tk_lst[1] += t - tk_lst[0]
+                    now = t + tk_ls
+                    tk_lst[0] = now
+                else:
+                    now = _serve(tk_lst, t, tk_ls)
+                t = now + ie_lat
+                if ie_pst is not None:
+                    if t >= ie_pst[0]:
+                        ie_pst[2] += ie_ps
+                        ie_pst[3] += 1
+                        ie_pst[1] += t - ie_pst[0]
+                        t += ie_ps
+                        ie_pst[0] = t
+                    else:
+                        t = _serve(ie_pst, t, ie_ps)
+                if t >= ie_lst[0]:
+                    ie_lst[2] += ie_ls
+                    ie_lst[3] += 1
+                    ie_lst[1] += t - ie_lst[0]
+                    now = t + ie_ls
+                    ie_lst[0] = now
+                else:
+                    now = _serve(ie_lst, t, ie_ls)
                 if record:
                     deltas[ie_di] += 2
                     deltas[tk_di] += 2  # pin write + unpin write
                 if is_write[item]:
                     # defer_delete(): pinned check + epoch read ...
-                    now = _charge(tk_plan, now)
-                    now = _charge(ie_plan, now)
+                    t = now + tk_lat
+                    if tk_pst is not None:
+                        t = _serve(tk_pst, t, tk_ps)
+                    now = _serve(tk_lst, t, tk_ls)
+                    t = now + ie_lat
+                    if ie_pst is not None:
+                        t = _serve(ie_pst, t, ie_ps)
+                    now = _serve(ie_lst, t, ie_ls)
                     if record:
                         deltas[tk_di] += 1
                         deltas[ie_di] += 1
                     # ... then limbo push: pool get + head exchange.
                     if pool is not None:
-                        now = _charge(pl_plan, now)
+                        t = now + pl_lat
+                        if pl_pst is not None:
+                            t = _serve(pl_pst, t, pl_ps)
+                        now = _serve(pl_lst, t, pl_ls)
                         node = il.pool_cur
                         if node is None:
                             node = LimboNode()
@@ -496,7 +702,10 @@ def run_ebr_epoch_phase(
                         else:
                             # Non-empty pool: the pop CAS is a second
                             # charge on the pool head.
-                            now = _charge(pl_plan, now)
+                            t = now + pl_lat
+                            if pl_pst is not None:
+                                t = _serve(pl_pst, t, pl_ps)
+                            now = _serve(pl_lst, t, pl_ls)
                             il.pool_cur = node.next
                             if record:
                                 deltas[pl_di] += 2
@@ -505,14 +714,34 @@ def run_ebr_epoch_phase(
                     else:
                         node = LimboNode()
                         node.val = objs[item]
-                    now = _charge(lm_plan, now)
+                    t = now + lm_lat
+                    if lm_pst is not None:
+                        t = _serve(lm_pst, t, lm_ps)
+                    now = _serve(lm_lst, t, lm_ls)
                     node.next = il.limbo_cur
                     il.limbo_cur = node
                     il.defer_delta += 1
                     if record:
                         deltas[lm_di] += 1
                 # unpin(): token write (diag counted with pin above).
-                now = _charge(tk_plan, now)
+                t = now + tk_lat
+                if tk_pst is not None:
+                    if t >= tk_pst[0]:
+                        tk_pst[2] += tk_ps
+                        tk_pst[3] += 1
+                        tk_pst[1] += t - tk_pst[0]
+                        t += tk_ps
+                        tk_pst[0] = t
+                    else:
+                        t = _serve(tk_pst, t, tk_ps)
+                if t >= tk_lst[0]:
+                    tk_lst[2] += tk_ls
+                    tk_lst[3] += 1
+                    tk_lst[1] += t - tk_lst[0]
+                    now = t + tk_ls
+                    tk_lst[0] = now
+                else:
+                    now = _serve(tk_lst, t, tk_ls)
             if now > finish:
                 finish = now
 
@@ -529,3 +758,343 @@ def run_ebr_epoch_phase(
         # Identical to the interpreted ``forall(items, body, ...)`` span
         # (cross-engine trace-equality contract, docs/OBSERVABILITY.md).
         tr.span("forall", t0, ctx.clock.now, tasks=total_tasks, items=len(data))
+
+
+# ---------------------------------------------------------------------------
+# Guard-scheme pin/defer/unpin phases (epoch_mixed under hp / qsbr / ibr)
+# ---------------------------------------------------------------------------
+
+
+def run_guard_epoch_phase(
+    rt,
+    *,
+    scheme: str,
+    items: Sequence[int],
+    is_write: Sequence[bool],
+    objs: Sequence[Any],
+    guards: List[List[Any]],
+    guards_per_locale: int,
+) -> None:
+    """Replay one round of ``run_epoch_mixed`` under a guard scheme.
+
+    Mirrors ``forall(items, body, task_init=bank.task_init)`` where the
+    body pins, defer-deletes ``objs[item]`` when ``is_write[item]``, and
+    unpins, against pre-registered hp/qsbr/ibr guards.  Each scheme's
+    charge stream is fixed per item (reclamation is root-driven between
+    rounds, so interval tags and era caches are phase constants):
+
+    * **qsbr** — pin/unpin are free; a retire is one ``cpu_load_latency``
+      advance plus an append tagged with the manager's current interval.
+    * **hp** — same free pin/unpin (no hazard slots are published by this
+      body) and a zero-tagged retire, but crossing ``scan_threshold``
+      runs the *real* ``_scan`` under a synthetic task context: hazard
+      reads (aggregated or not), drains and frees are value-dependent
+      and charge exactly as interpreted, continuing this task's clock.
+    * **ibr** — pin is the publish/re-validate handshake (era-cache
+      read, birth write, era-cache re-read — the cache is constant
+      mid-phase, so the loop exits first try exactly as interpreted),
+      unpin one birth write, and a retire adds the charged era read that
+      tags the entry with its birth era.
+
+    Retired entries are appended to the **real** guard buffers, so the
+    interpreted ``phase_boundary``/``try_reclaim``/``clear`` calls
+    between rounds scan, drain and free exactly the state an interpreted
+    phase leaves.
+    """
+    ctx = current_context()
+    net = rt.network
+    nloc = rt.num_locales
+    tpl = guards_per_locale
+
+    # ---- forall item distribution (cyclic by position) -----------------
+    data = list(items)
+    per_locale: List[List[int]] = [[] for _ in range(nloc)]
+    for idx, item in enumerate(data):
+        per_locale[idx % nloc].append(item)
+    ntasks_by_locale = [min(tpl, len(c)) if c else 0 for c in per_locale]
+    total_tasks = sum(ntasks_by_locale)
+    if total_tasks == 0:
+        return
+    active = [lid for lid, c in enumerate(per_locale) if c]
+    tr = rt._tracer
+    t0 = ctx.clock.now if tr is not None else 0.0
+    start = _forall_prologue(rt, ctx, active, total_tasks)
+
+    ledger = _PointLedger()
+    cpu_load = rt.config.costs.cpu_load_latency
+    seed_base = rt.config.seed << 20
+    diags = net.diags
+    record = diags._enabled
+    diag_counts = [[0] * 9 for _ in range(nloc)]
+
+    # ---- replay: spawn-submission order ---------------------------------
+    finish = start
+    for locale in active:
+        chunk = per_locale[locale]
+        ntasks = ntasks_by_locale[locale]
+        deltas = diag_counts[locale]
+        for w in range(ntasks):
+            task_id = rt._next_task_id()
+            guard = guards[locale][task_id % tpl]
+            rec = guard._rec
+            retired = guard._retired
+            now = start
+            if scheme == "qsbr":
+                tag = rec._interval
+                for item in chunk[w::ntasks]:
+                    if is_write[item]:
+                        now += cpu_load
+                        retired.append((objs[item], tag))
+            elif scheme == "hp":
+                threshold = rec.scan_threshold
+                tctx: Optional[TaskContext] = None
+                for item in chunk[w::ntasks]:
+                    if is_write[item]:
+                        now += cpu_load
+                        retired.append((objs[item], 0))
+                        if len(retired) >= threshold:
+                            # The threshold scan is value-dependent
+                            # (hazard reads, drains, frees) — run the
+                            # real thing on this task's clock.
+                            if tctx is None:
+                                tctx = TaskContext(
+                                    runtime=rt,
+                                    locale_id=locale,
+                                    clock=TaskClock(now),
+                                    task_id=task_id,
+                                )
+                                tctx.rng.seed(seed_base ^ task_id)
+                            tctx.clock.now = now
+                            with context_scope(tctx):
+                                rec._scan([guard])
+                            now = tctx.clock.now
+                            # The drain rebinds guard._retired; drop the
+                            # stale alias.
+                            retired = guard._retired
+            elif scheme == "ibr":
+                ec_plan = _narrow_plan(net, guard._era_cache, locale, ledger)
+                b_plan = _narrow_plan(net, guard.birth, locale, ledger)
+                ec_di = ec_plan[5]
+                b_di = b_plan[5]
+                era = guard._era_cache.peek()
+                for item in chunk[w::ntasks]:
+                    # pin(): era read, birth publish, era re-validate.
+                    now = _charge(ec_plan, now)
+                    now = _charge(b_plan, now)
+                    now = _charge(ec_plan, now)
+                    if record:
+                        deltas[ec_di] += 2
+                        deltas[b_di] += 2  # publish + the unpin clear
+                    if is_write[item]:
+                        # defer_delete(): buffer append, then the
+                        # charged era read that tags the entry.
+                        now += cpu_load
+                        now = _charge(ec_plan, now)
+                        if record:
+                            deltas[ec_di] += 1
+                        retired.append((objs[item], era))
+                    # unpin(): birth clear (diag counted with pin above).
+                    now = _charge(b_plan, now)
+            else:
+                raise NotCompilable(f"no guard replay for scheme {scheme!r}")
+            if now > finish:
+                finish = now
+
+    # ---- join + writeback ---------------------------------------------
+    _forall_epilogue(rt, ctx, finish)
+    ledger.writeback()
+    if record:
+        _writeback_diags(diags, diag_counts)
+    if tr is not None:
+        tr.span("forall", t0, ctx.clock.now, tasks=total_tasks, items=len(data))
+
+
+# ---------------------------------------------------------------------------
+# The Listing 5 workload (fig 4-7 drivers): in-task register / replay /
+# unregister, every reclaimer scheme
+# ---------------------------------------------------------------------------
+
+
+def run_epoch_workload_phase(
+    rt,
+    *,
+    em,
+    objs: Sequence[Any],
+    num_objects: int,
+    delete: bool,
+) -> None:
+    """Replay ``run_epoch_workload``'s ``forall`` (one task per locale).
+
+    The interpreted body registers a token/guard *inside* the task
+    (``task_init``), pins / optionally retires / unpins per item, and
+    unregisters on task exit.  With one task per locale (the gated
+    shape), the pool-size-1 schedule runs each task start-to-finish in
+    locale order — so the replay alternates real excursions with column
+    replay per task:
+
+    1. ``em.register()`` runs **for real** under a synthetic task
+       context (EBR's free-list pop / token construction charges, guard
+       construction is free) — the registry, token chains and stats
+       mutate exactly as interpreted;
+    2. the per-item pin/retire/unpin stream replays from charge plans
+       built against the freshly registered token's cells (EBR) or the
+       guard/era cells (hp/qsbr/ibr — hp threshold scans run real, as in
+       :func:`run_guard_epoch_phase`), with retired entries appended to
+       the real buffers/limbo chains;
+    3. borrowed state is written back, then ``unregister()`` runs for
+       real on the task's clock (EBR's token write + free-list push;
+       guard orphan adoption hands the replay-built buffers to the
+       manager).
+
+    Interpreted code afterwards (``em.clear()``, stats) sees exactly the
+    state an interpreted phase leaves.
+    """
+    from ..core.limbo_list import LimboNode
+
+    ctx = current_context()
+    net = rt.network
+    nloc = rt.num_locales
+    scheme = rt.config.reclaimer
+    if num_objects == 0:
+        return
+    chunks = [list(range(lid, num_objects, nloc)) for lid in range(nloc)]
+    active = [lid for lid in range(nloc) if chunks[lid]]
+    total_tasks = len(active)
+    tr = rt._tracer
+    t0 = ctx.clock.now if tr is not None else 0.0
+    start = _forall_prologue(rt, ctx, active, total_tasks)
+
+    cpu_load = rt.config.costs.cpu_load_latency
+    seed_base = rt.config.seed << 20
+    diags = net.diags
+    record = diags._enabled
+    diag_counts = [[0] * 9 for _ in range(nloc)]
+
+    finish = start
+    for lid in active:
+        chunk = chunks[lid]
+        deltas = diag_counts[lid]
+        task_id = rt._next_task_id()
+        tctx = TaskContext(
+            runtime=rt, locale_id=lid, clock=TaskClock(start), task_id=task_id
+        )
+        tctx.rng.seed(seed_base ^ task_id)
+
+        # -- 1. real registration on the task's clock --------------------
+        with context_scope(tctx):
+            tok = em.register()
+        now = tctx.clock.now
+
+        # -- 2. columnar replay of the pin/retire/unpin stream -----------
+        ledger = _PointLedger()
+        if scheme == "ebr":
+            il = _InstanceLedger(tok._inst)
+            ie_plan, lm_plan, pl_plan = il.plans_for(net, lid, ledger)
+            ie_di = ie_plan[5]
+            lm_di = lm_plan[5]
+            pool = il.pool
+            if pool is not None:
+                pl_di = pl_plan[5]
+            tk_plan = _narrow_plan(net, tok.local_epoch, lid, ledger)
+            tk_di = tk_plan[5]
+            for item in chunk:
+                now = _charge(ie_plan, now)
+                now = _charge(tk_plan, now)
+                now = _charge(ie_plan, now)
+                if record:
+                    deltas[ie_di] += 2
+                    deltas[tk_di] += 2  # pin write + unpin write
+                if delete:
+                    now = _charge(tk_plan, now)
+                    now = _charge(ie_plan, now)
+                    if record:
+                        deltas[tk_di] += 1
+                        deltas[ie_di] += 1
+                    if pool is not None:
+                        now = _charge(pl_plan, now)
+                        node = il.pool_cur
+                        if node is None:
+                            node = LimboNode()
+                            il.pool_alloc_delta += 1
+                            if record:
+                                deltas[pl_di] += 1
+                        else:
+                            now = _charge(pl_plan, now)
+                            il.pool_cur = node.next
+                            if record:
+                                deltas[pl_di] += 2
+                        node.val = objs[item]
+                        node.next = None
+                    else:
+                        node = LimboNode()
+                        node.val = objs[item]
+                    now = _charge(lm_plan, now)
+                    node.next = il.limbo_cur
+                    il.limbo_cur = node
+                    il.defer_delta += 1
+                    if record:
+                        deltas[lm_di] += 1
+                now = _charge(tk_plan, now)
+            il.writeback()
+        elif scheme == "qsbr":
+            if delete:
+                retired = tok._retired
+                tag = tok._rec._interval
+                for item in chunk:
+                    now += cpu_load
+                    retired.append((objs[item], tag))
+        elif scheme == "hp":
+            if delete:
+                rec = tok._rec
+                retired = tok._retired
+                threshold = rec.scan_threshold
+                for item in chunk:
+                    now += cpu_load
+                    retired.append((objs[item], 0))
+                    if len(retired) >= threshold:
+                        tctx.clock.now = now
+                        with context_scope(tctx):
+                            rec._scan([tok])
+                        now = tctx.clock.now
+                        # The drain rebinds tok._retired; drop the stale
+                        # alias.
+                        retired = tok._retired
+        elif scheme == "ibr":
+            ec_plan = _narrow_plan(net, tok._era_cache, lid, ledger)
+            b_plan = _narrow_plan(net, tok.birth, lid, ledger)
+            ec_di = ec_plan[5]
+            b_di = b_plan[5]
+            era = tok._era_cache.peek()
+            retired = tok._retired
+            for item in chunk:
+                now = _charge(ec_plan, now)
+                now = _charge(b_plan, now)
+                now = _charge(ec_plan, now)
+                if record:
+                    deltas[ec_di] += 2
+                    deltas[b_di] += 2
+                if delete:
+                    now += cpu_load
+                    now = _charge(ec_plan, now)
+                    if record:
+                        deltas[ec_di] += 1
+                    retired.append((objs[item], era))
+                now = _charge(b_plan, now)
+        else:
+            raise NotCompilable(f"no epoch replay for reclaimer {scheme!r}")
+
+        # -- 3. writeback, then real unregistration ----------------------
+        ledger.writeback()
+        tctx.clock.now = now
+        with context_scope(tctx):
+            tok.unregister()
+        if tctx.clock.now > finish:
+            finish = tctx.clock.now
+
+    _forall_epilogue(rt, ctx, finish)
+    if record:
+        _writeback_diags(diags, diag_counts)
+    if tr is not None:
+        tr.span(
+            "forall", t0, ctx.clock.now, tasks=total_tasks, items=num_objects
+        )

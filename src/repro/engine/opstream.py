@@ -18,13 +18,22 @@ tests/test_engine_compiled.py.
 
 What lowers, what falls back
 ----------------------------
-A phase is compilable when every op is a *narrow* atomic charge against a
-precompiled route and the stream is value-independent (CAS charges do not
-depend on CAS outcomes).  ``atomic_int`` mix/hotspot streams and the EBR
-pin/defer/unpin cycle qualify; ``AtomicObject`` variants (whose CAS path
-reads values) and the list-based reclaimers (whose scans are mid-phase
-and value-dependent) do not — their generators silently run the
-interpreter regardless of the configured engine.  See docs/ENGINE.md.
+A phase lowers to the **columnar** tier when its per-op charge stream is
+fixed up front: every op charges a precompiled route and the charge
+count is value-independent (an ``AtomicObject`` CAS *outcome* may vary,
+but the charges per attempt do not — its op cycle lowers to a fixed
+per-op charge-count table).  The mix/hotspot streams over every cell
+kind, the epoch rounds of all four reclaimers (EBR's token/limbo/pool
+cells, hp/qsbr/ibr guard buffers — threshold scans run real mid-replay),
+and the root-task placement-allocation loops all replay columnar.
+Value-dependent phases that are still pool-size-deterministic (structure
+traversals in churn / multi-structure, pin-time-tracking policies) take
+the **serial** tier: real bodies inline in the canonical pool-size-1
+schedule.  Only schedule-scoped shapes (mid-phase ``tryReclaim``
+elections, in-forall token reuse with >1 task per locale) and full-detail
+tracing fall back to the interpreter — which ``compiled-strict`` turns
+into an error.  The decision table is :func:`repro.engine.compiled_plan`;
+see docs/ENGINE.md.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ __all__ = [
     "CompressionError",
     "TooManyLocalesError",
     "TokenStateError",
+    "CompiledFallbackError",
     "ReclaimerError",
     "EpochManagerError",
     "StructureError",
@@ -127,6 +128,17 @@ class ReclaimerError(ReproError):
 
 class EpochManagerError(ReclaimerError):
     """Generic misuse of the epoch manager (e.g. after ``destroy()``)."""
+
+
+class CompiledFallbackError(ReproError):
+    """A workload phase fell back to the interpreter under strict mode.
+
+    Raised only when the runtime is configured with
+    ``engine="compiled-strict"`` (docs/ENGINE.md): the plain ``"compiled"``
+    engine falls back silently and exactly, so coverage regressions can
+    hide; the strict engine turns every fallback into this error, naming
+    the workload and the reason the phase could not be lowered.
+    """
 
 
 class StructureError(ReproError):

@@ -37,6 +37,8 @@ __all__ = [
     "MACHINE_AXES",
     "RECLAIMER_SCHEMES",
     "ENGINES",
+    "COMPILED_ENGINES",
+    "compiled_requested",
     "axis_names",
     "parse_axis",
     "axis_spec",
@@ -51,9 +53,20 @@ RECLAIMER_SCHEMES = ("ebr", "hp", "qsbr", "ibr")
 #: Workload execution engines (see :mod:`repro.engine` and docs/ENGINE.md):
 #: ``"interpreted"`` charges every operation as it happens on real worker
 #: threads; ``"compiled"`` lets workloads lower fixed op streams into
-#: columnar batches replayed serially.  Bit-identical by contract — the
+#: columnar batches replayed serially; ``"compiled-strict"`` is the same
+#: engine with fallback turned into an error (a coverage gate — any phase
+#: the generators cannot lower raises ``CompiledFallbackError`` instead of
+#: silently running the interpreter).  Bit-identical by contract — the
 #: axis trades wall-clock only, never virtual results.
-ENGINES = ("interpreted", "compiled")
+ENGINES = ("interpreted", "compiled", "compiled-strict")
+
+#: The engine values that request compiled execution (strict included).
+COMPILED_ENGINES = frozenset(("compiled", "compiled-strict"))
+
+
+def compiled_requested(engine: str) -> bool:
+    """True when ``engine`` asks for compiled execution (strict or not)."""
+    return engine in COMPILED_ENGINES
 
 
 @dataclass(frozen=True)

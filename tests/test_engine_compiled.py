@@ -1,15 +1,17 @@
 """The compiled-engine bit-identity gate (docs/ENGINE.md).
 
 The ``engine = "compiled"`` axis must never change virtual results: for
-every workload — whether it lowers to the batch executor or silently
-falls back to the interpreter — virtual time, comm totals, and reclaim
-stats must be bit-identical to an interpreted run, across the scenario
-registry, all four reclaimers, and worker-pool sizes {1, 2, 4, 8}.
+every workload — whether it lowers to the columnar replay, the serial
+tier, or falls back to the interpreter — virtual time, comm totals,
+reclaim stats and trace spans must be bit-identical to an interpreted
+run, across the scenario registry, all four reclaimers, and worker-pool
+sizes {1, 2, 4, 8}.
 
 Alongside the end-to-end gate, the column lowerings of
 :mod:`repro.engine.opstream` are pinned against the RNG streams the
 interpreted task bodies consume — the "same bit stream" precondition the
-executor's replay correctness rests on.
+executor's replay correctness rests on — and the compilation cache's
+hit path is pinned against its cold path.
 """
 
 import random
@@ -21,9 +23,14 @@ from repro.bench.workloads import (
     run_atomic_hotspot,
     run_atomic_mix,
     run_epoch_mixed,
+    run_epoch_workload,
+    run_multi_structure,
+    run_producer_consumer,
 )
+from repro.engine import COLUMN_CACHE, compiled_plan, engine_summary
 from repro.engine.opstream import fast_randbelow, mix_column, zipf_column
-from repro.runtime.config import ENGINES, RECLAIMER_SCHEMES, RuntimeConfig
+from repro.errors import CompiledFallbackError
+from repro.runtime.config import RECLAIMER_SCHEMES, RuntimeConfig
 from repro.runtime.runtime import Runtime
 
 
@@ -45,11 +52,19 @@ def _run_scenario(name, engine, **topo_overrides):
     return _fingerprint(scenarios.run_scenario(spec).result)
 
 
+def _run_workload(fn, kwargs, engine, **cfg):
+    """One workload run; the fingerprint includes trace events if any."""
+    rt = Runtime(config=RuntimeConfig(engine=engine, **cfg))
+    fp = _fingerprint(fn(rt, **kwargs))
+    events = rt._tracer.events() if rt._tracer is not None else None
+    return fp + (events,)
+
+
 # A slice of the registry covering every lowering path: the compiled
 # atomic mix and hotspot (flat / hier / dragonfly / AM transport), the
-# compiled EBR epoch rounds (open aggregation windows, ragged shapes),
-# the hp fallback inside an otherwise-compilable epoch_mixed, and
-# workload kinds with no lowering at all (churn, multi_structure).
+# compiled epoch rounds under EBR and HP (open aggregation windows,
+# ragged shapes), the serial tier (churn, multi_structure), and the
+# multi-task token bank.
 SCENARIO_SAMPLE = [
     "paper-atomic-mix",
     "hotspot-zipf",
@@ -74,8 +89,9 @@ class TestScenarioEquivalence:
 
     @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
     def test_all_reclaimers(self, scheme):
-        # epoch_mixed under every scheme: EBR takes the batch replay,
-        # the scan-based schemes must fall back without drift.
+        # epoch_mixed under every scheme: EBR and the scan-based schemes
+        # all take the compiled replay now (hp/qsbr/ibr via the guard
+        # lowering in run_guard_epoch_phase).
         name = f"reclaim-hotspot-{scheme}"
         interpreted = _run_scenario(name, "interpreted")
         compiled = _run_scenario(name, "compiled")
@@ -94,16 +110,82 @@ class TestScenarioEquivalence:
         assert compiled == interpreted
 
 
+class TestReclaimerMatrix:
+    """Bit-identity pins for the fig4-7 epoch lowering and the guard
+    epoch rounds: every reclaimer x pool size x trace detail."""
+
+    @pytest.mark.parametrize("trace", ["off", "spans"])
+    @pytest.mark.parametrize("pool", [1, 2, 4, 8])
+    @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
+    def test_epoch_workload(self, scheme, pool, trace):
+        kwargs = dict(ops_per_task=24, remote_percent=50, delete=True)
+        cfg = dict(
+            num_locales=4,
+            reclaimer=scheme,
+            worker_pool_size=pool,
+            trace=trace,
+        )
+        a = _run_workload(run_epoch_workload, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_epoch_workload, kwargs, "compiled", **cfg)
+        assert a == b
+
+    @pytest.mark.parametrize("trace", ["off", "spans"])
+    @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
+    def test_epoch_mixed_guard_rounds(self, scheme, trace):
+        kwargs = dict(
+            ops_per_task=48, write_percent=75, remote_percent=100, rounds=4
+        )
+        cfg = dict(num_locales=4, reclaimer=scheme, trace=trace)
+        a = _run_workload(run_epoch_mixed, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_epoch_mixed, kwargs, "compiled", **cfg)
+        assert a == b
+
+    @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
+    def test_epoch_readonly(self, scheme):
+        # Figure 7's pin/unpin-only loop (delete=False).
+        kwargs = dict(ops_per_task=24, remote_percent=0, delete=False)
+        cfg = dict(num_locales=4, reclaimer=scheme)
+        a = _run_workload(run_epoch_workload, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_epoch_workload, kwargs, "compiled", **cfg)
+        assert a == b
+
+    def test_hp_threshold_scans_fire_mid_phase(self):
+        # >= scan_threshold retirements per guard: the value-dependent
+        # hazard scan runs for real inside the replay, on the task clock.
+        kwargs = dict(ops_per_task=200, remote_percent=50, delete=True)
+        cfg = dict(num_locales=4, reclaimer="hp")
+        a = _run_workload(run_epoch_workload, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_epoch_workload, kwargs, "compiled", **cfg)
+        assert a == b
+        # The scans actually fired (800 retirements, threshold 128).
+        assert a[3]["em"]["scans"] > 0
+
+    @pytest.mark.parametrize("scheme", RECLAIMER_SCHEMES)
+    @pytest.mark.parametrize("structure", ["queue", "stack"])
+    def test_churn_serial_tier(self, structure, scheme):
+        kwargs = dict(structure=structure, items_per_task=24, rounds=2)
+        cfg = dict(num_locales=4, reclaimer=scheme)
+        a = _run_workload(run_producer_consumer, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_producer_consumer, kwargs, "compiled", **cfg)
+        assert a == b
+
+    def test_multi_structure_serial_tier(self):
+        kwargs = dict(ops_per_slot=24)
+        cfg = dict(num_locales=4)
+        a = _run_workload(run_multi_structure, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_multi_structure, kwargs, "compiled", **cfg)
+        assert a == b
+
+
 class TestWorkloadEquivalence:
     """Direct workload-level equivalence on shapes the registry lacks."""
 
     @staticmethod
     def _results(fn, kwargs, **cfg):
-        out = []
-        for engine in ENGINES:
-            rt = Runtime(config=RuntimeConfig(engine=engine, **cfg))
-            out.append(_fingerprint(fn(rt, **kwargs)))
-        return out
+        return [
+            _run_workload(fn, kwargs, engine, **cfg)
+            for engine in ("interpreted", "compiled")
+        ]
 
     @pytest.mark.parametrize("network", ["ugni", "none"])
     @pytest.mark.parametrize("nloc", [1, 3])
@@ -163,16 +245,206 @@ class TestWorkloadEquivalence:
         )
         assert a == b
 
-    def test_object_mix_falls_back(self):
-        # AtomicObject variants have no lowering; the compiled engine
-        # must produce identical results by running the interpreter.
+    @pytest.mark.parametrize("kind", ["atomic_object", "atomic_object_aba"])
+    def test_object_mix_lowers(self, kind):
+        # The AtomicObject variants lower now: the (1, 1, 2, 1) op-cycle
+        # charges on the narrow (plain) or wide (ABA) route row.
+        tier, _ = compiled_plan("atomic_mix")
+        assert tier == "columnar"
         a, b = self._results(
             run_atomic_mix,
-            dict(kind="atomic_object", ops_per_task=32, tasks_per_locale=1),
+            dict(kind=kind, ops_per_task=32, tasks_per_locale=1),
             num_locales=2,
             tasks_per_locale=1,
         )
         assert a == b
+
+    def test_object_hotspot_lowers(self):
+        a, b = self._results(
+            run_atomic_hotspot,
+            dict(cell="atomic_object", ops_per_task=32, num_cells=8),
+            num_locales=2,
+        )
+        assert a == b
+
+
+class TestCompilationCache:
+    """Cold-vs-hit paths of the cross-run column cache."""
+
+    def test_hit_path_is_bit_identical_to_cold(self):
+        kwargs = dict(kind="atomic_int", ops_per_task=48, tasks_per_locale=2)
+        cfg = dict(num_locales=2, tasks_per_locale=2)
+        COLUMN_CACHE.clear()
+        cold = _run_workload(run_atomic_mix, kwargs, "compiled", **cfg)
+        hits0, misses0, entries0 = COLUMN_CACHE.stats()
+        assert misses0 >= 1 and entries0 >= 1
+        warm = _run_workload(run_atomic_mix, kwargs, "compiled", **cfg)
+        hits1, misses1, _ = COLUMN_CACHE.stats()
+        assert hits1 > hits0  # the repeat run reused the lowered columns
+        assert misses1 == misses0
+        assert warm == cold
+
+    def test_distinct_shapes_get_distinct_entries(self):
+        COLUMN_CACHE.clear()
+        cfg = dict(num_locales=2)
+        _run_workload(
+            run_atomic_mix, dict(kind="atomic_int", ops_per_task=32),
+            "compiled", **cfg
+        )
+        _, misses_a, _ = COLUMN_CACHE.stats()
+        _run_workload(
+            run_atomic_mix, dict(kind="atomic_int", ops_per_task=64),
+            "compiled", **cfg
+        )
+        _, misses_b, _ = COLUMN_CACHE.stats()
+        assert misses_b > misses_a  # different shape, different key
+
+    def test_columns_shared_across_cell_kinds(self):
+        # The mix draw stream is kind-independent: the object variant
+        # reuses the integer variant's columns.
+        COLUMN_CACHE.clear()
+        cfg = dict(num_locales=2)
+        _run_workload(
+            run_atomic_mix, dict(kind="atomic_int", ops_per_task=32),
+            "compiled", **cfg
+        )
+        hits0, misses0, _ = COLUMN_CACHE.stats()
+        _run_workload(
+            run_atomic_mix, dict(kind="atomic_object", ops_per_task=32),
+            "compiled", **cfg
+        )
+        hits1, misses1, _ = COLUMN_CACHE.stats()
+        assert misses1 == misses0
+        assert hits1 > hits0
+
+    def test_scenario_repeats_share_columns(self):
+        COLUMN_CACHE.clear()
+        spec = scenarios.get_scenario("paper-atomic-mix").with_topology(
+            engine="compiled"
+        )
+        spec = spec.with_measure(ops_scale=0.25, repeats=3)
+        scenarios.run_scenario(spec)
+        hits, misses, _ = COLUMN_CACHE.stats()
+        assert misses >= 1
+        assert hits >= misses  # repeats 2 and 3 hit what repeat 1 built
+
+
+class TestStrictMode:
+    """``compiled-strict``: any interpreter fallback is an error."""
+
+    def test_strict_passes_on_lowered_shape(self):
+        kwargs = dict(ops_per_task=24, remote_percent=50, delete=True)
+        cfg = dict(num_locales=4, reclaimer="qsbr")
+        a = _run_workload(run_epoch_workload, kwargs, "interpreted", **cfg)
+        b = _run_workload(run_epoch_workload, kwargs, "compiled-strict", **cfg)
+        assert a == b
+
+    def test_strict_passes_on_serial_tier(self):
+        kwargs = dict(structure="queue", items_per_task=16, rounds=2)
+        cfg = dict(num_locales=2)
+        a = _run_workload(run_producer_consumer, kwargs, "interpreted", **cfg)
+        b = _run_workload(
+            run_producer_consumer, kwargs, "compiled-strict", **cfg
+        )
+        assert a == b
+
+    def test_strict_raises_on_fallback_shape(self):
+        # Mid-phase tryReclaim elections are schedule-scoped: no lowering.
+        rt = Runtime(
+            config=RuntimeConfig(engine="compiled-strict", num_locales=2)
+        )
+        with pytest.raises(CompiledFallbackError, match="fell back"):
+            run_epoch_workload(rt, ops_per_task=16, reclaim_every=8)
+
+    def test_strict_raises_under_full_tracing(self):
+        rt = Runtime(
+            config=RuntimeConfig(
+                engine="compiled-strict", num_locales=2, trace="full"
+            )
+        )
+        with pytest.raises(CompiledFallbackError, match="trace=full"):
+            run_atomic_mix(rt, kind="atomic_int", ops_per_task=16)
+
+    def test_plain_compiled_still_falls_back_silently(self):
+        # The reclaim_every shape is the one place results ARE allowed to
+        # vary between runs (mid-phase tryReclaim elections follow the
+        # real schedule — the documented reason it cannot lower), so this
+        # asserts the fallback contract, not bit-equality: plain
+        # ``compiled`` runs the shape without raising and records the
+        # fallback in the engine log.
+        rt = Runtime(config=RuntimeConfig(engine="compiled", num_locales=2))
+        try:
+            run_epoch_workload(rt, ops_per_task=16, reclaim_every=8)
+            summary = engine_summary(rt)
+        finally:
+            rt.close()
+        assert summary["configured"] == "compiled"
+        assert summary["effective"] == "interpreted"
+        assert summary["fallbacks"] == [
+            {
+                "workload": "epoch",
+                "reason": "mid-phase tryReclaim elections are schedule-scoped",
+            }
+        ]
+
+
+class TestEngineReporting:
+    """The effective-engine record and the computed coverage column."""
+
+    def test_compiled_run_reports_effective_engine(self):
+        spec = scenarios.get_scenario("queue-churn").with_topology(
+            engine="compiled"
+        )
+        spec = spec.with_measure(ops_scale=0.25)
+        run = scenarios.run_scenario(spec)
+        assert run.engine is not None
+        assert run.engine["configured"] == "compiled"
+        assert run.engine["effective"] == "compiled"
+        assert run.engine["phases"].get("serial", 0) > 0
+        assert "fallbacks" not in run.engine
+        assert run.engine == run.report_entry()["engine"]
+        # The effective-engine record must never leak into extra: extra
+        # is part of the bit-identity fingerprint.
+        assert "engine" not in run.result.extra
+
+    def test_interpreted_run_reports_interpreted(self):
+        spec = scenarios.get_scenario("queue-churn").with_measure(
+            ops_scale=0.25
+        )
+        run = scenarios.run_scenario(spec)
+        assert run.engine == {
+            "configured": "interpreted",
+            "effective": "interpreted",
+        }
+
+    def test_fallback_phases_are_recorded(self):
+        rt = Runtime(config=RuntimeConfig(engine="compiled", num_locales=2))
+        run_epoch_workload(rt, ops_per_task=16, reclaim_every=8)
+        summary = engine_summary(rt)
+        assert summary["effective"] == "interpreted"
+        assert summary["phases"] == {"interpreted": 1}
+        assert summary["fallbacks"] == [
+            {
+                "workload": "epoch",
+                "reason": (
+                    "mid-phase tryReclaim elections are schedule-scoped"
+                ),
+            }
+        ]
+
+    def test_compiled_coverage_is_computed(self):
+        cov = {
+            name: scenarios.compiled_coverage(scenarios.get_scenario(name))
+            for name in scenarios.scenario_names()
+        }
+        assert cov["paper-atomic-mix"] == "columnar"
+        assert cov["paper-reclaim-endonly"] == "columnar"
+        assert cov["queue-churn"] == "serial"
+        assert cov["multi-structure"] == "serial"
+        # Pin-time-tracking policies need the serial tier (columnar
+        # replay records no per-pin facts).
+        assert cov["policy-sweep-hier-grace"] == "serial"
+        assert set(cov.values()) <= {"columnar", "serial", "interpreted"}
 
 
 class TestColumnLowerings:
@@ -223,6 +495,11 @@ class TestEngineAxis:
     def test_runtime_config_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="unknown engine"):
             RuntimeConfig(engine="vectorized")
+
+    def test_runtime_config_accepts_strict(self):
+        assert RuntimeConfig(engine="compiled-strict").engine == (
+            "compiled-strict"
+        )
 
     def test_topology_spec_rejects_unknown_engine(self):
         with pytest.raises(scenarios.ScenarioError, match="engine"):
